@@ -1,0 +1,1 @@
+bench/backends.ml: Cki Hw Virt

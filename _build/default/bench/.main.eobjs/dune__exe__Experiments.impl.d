@@ -1,0 +1,1 @@
+bench/experiments.ml: Backends Cki Hw List Micro Printf Report String Virt Workloads

@@ -1,0 +1,1 @@
+bench/micro.ml: Backends Hw Kernel_model List Virt

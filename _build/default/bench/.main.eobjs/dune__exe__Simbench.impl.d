@@ -1,0 +1,1 @@
+bench/simbench.ml: Analyze Bechamel Benchmark Cki Hashtbl Hw Instance Kernel_model List Measure Printf Staged Test Time Toolkit Virt

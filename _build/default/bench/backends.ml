@@ -1,0 +1,26 @@
+(* Fresh backend instances for the experiments.  Every call builds its
+   own simulated machine so runs are independent and reproducible. *)
+
+let machine () = Hw.Machine.create ~cpus:4 ~mem_mib:768 ()
+
+let runc () = Virt.Runc.create (machine ())
+let hvm_bm ?(ept_huge = false) () = Virt.Hvm.create ~ept_huge (machine ())
+let hvm_nst () = Virt.Hvm.create ~env:Virt.Env.Nested (machine ())
+let pvm_bm () = Virt.Pvm.create (machine ())
+let pvm_nst () = Virt.Pvm.create ~env:Virt.Env.Nested (machine ())
+
+let cki ?(env = Virt.Env.Bare_metal) ?(cfg = Cki.Config.default) () =
+  let cfg = { cfg with Cki.Config.segment_frames = 131072 (* 512 MiB *) } in
+  Cki.Container.backend (Cki.Container.create_standalone ~env ~cfg ~mem_mib:768 ())
+
+let cki_bm () = cki ()
+let cki_nst () = cki ~env:Virt.Env.Nested ()
+let cki_wo_opt2 () = cki ~cfg:Cki.Config.wo_opt2 ()
+let cki_wo_opt3 () = cki ~cfg:Cki.Config.wo_opt3 ()
+
+(* The standard five-way comparison of Figures 4/5/12. *)
+let five_way () =
+  [ hvm_nst (); pvm_nst (); runc (); hvm_bm (); pvm_bm () ]
+
+(* Measure simulated latency of [f] on a backend. *)
+let time (b : Virt.Backend.t) f = snd (Hw.Clock.timed b.Virt.Backend.clock f)

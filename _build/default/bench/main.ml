@@ -1,0 +1,37 @@
+(* CKI reproduction benchmark harness.
+
+   Regenerates every table and figure of the paper's evaluation (see
+   DESIGN.md section 4) plus the attack suite and Bechamel benches of
+   the simulator primitives.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe fig12      # one experiment
+     dune exec bench/main.exe list       # list experiment ids *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "list" ] ->
+      List.iter (fun (name, _) -> print_endline name) Experiments.all;
+      print_endline "simbench"
+  | [] ->
+      Printf.printf "CKI (EuroSys'25) reproduction — full benchmark run\n";
+      Printf.printf "===================================================\n";
+      List.iter
+        (fun (_, f) ->
+          f ();
+          flush stdout)
+        Experiments.all;
+      Simbench.run ()
+  | names ->
+      List.iter
+        (fun name ->
+          if name = "simbench" then Simbench.run ()
+          else
+            match List.assoc_opt name Experiments.all with
+            | Some f -> f ()
+            | None ->
+                Printf.eprintf "unknown experiment %S (try: dune exec bench/main.exe list)\n" name;
+                exit 1)
+        names

@@ -1,0 +1,61 @@
+(* The three microbenchmark primitives of Table 2 / Figure 10, measured
+   in simulated nanoseconds on any backend. *)
+
+let getpid_ns (b : Virt.Backend.t) =
+  let task = Virt.Backend.spawn b in
+  Virt.Backend.mean_latency b ~n:1000 (fun () ->
+      ignore (Virt.Backend.syscall_exn b task Kernel_model.Syscall.Getpid))
+
+(* Allocate a large region and touch each 4 KiB page (the paper's
+   page-fault microbenchmark). *)
+let pgfault_ns ?(pages = 4096) (b : Virt.Backend.t) =
+  let task = Virt.Backend.spawn b in
+  let base =
+    match
+      Virt.Backend.syscall_exn b task
+        (Kernel_model.Syscall.Mmap { pages; prot = Kernel_model.Vma.prot_rw })
+    with
+    | Kernel_model.Syscall.Rint v -> v
+    | _ -> failwith "mmap"
+  in
+  let ns =
+    Backends.time b (fun () ->
+        ignore (Kernel_model.Mm.touch_range task.Kernel_model.Task.mm ~start:base ~pages ~write:true))
+  in
+  ns /. float_of_int pages
+
+let hypercall_ns (b : Virt.Backend.t) =
+  if not b.Virt.Backend.supports_hypercall then nan
+  else
+    Virt.Backend.mean_latency b ~n:1000 (fun () -> b.Virt.Backend.empty_hypercall ())
+
+(* Event-accounted breakdown of the page-fault path (Figure 10a): total
+   plus the share attributed to each cost category. *)
+let pgfault_breakdown ?(pages = 2048) (b : Virt.Backend.t) =
+  let task = Virt.Backend.spawn b in
+  let base =
+    match
+      Virt.Backend.syscall_exn b task
+        (Kernel_model.Syscall.Mmap { pages; prot = Kernel_model.Vma.prot_rw })
+    with
+    | Kernel_model.Syscall.Rint v -> v
+    | _ -> failwith "mmap"
+  in
+  let clock = b.Virt.Backend.clock in
+  let spent_before =
+    List.map (fun e -> (e, Hw.Clock.spent_on clock e))
+      [ "pf_service"; "ept_fault_bm"; "ept_fault_nst"; "pvm_fault_vmexits"; "pvm_fault_spt";
+        "pvm_fault_nst_extra"; "ksm_call" ]
+  in
+  let total =
+    Backends.time b (fun () ->
+        ignore (Kernel_model.Mm.touch_range task.Kernel_model.Task.mm ~start:base ~pages ~write:true))
+  in
+  let comps =
+    List.filter_map
+      (fun (e, before) ->
+        let d = (Hw.Clock.spent_on clock e -. before) /. float_of_int pages in
+        if d > 0.01 then Some (e, d) else None)
+      spent_before
+  in
+  (total /. float_of_int pages, comps)

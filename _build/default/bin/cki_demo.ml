@@ -1,0 +1,97 @@
+(* cki_demo: command-line driver for poking at the CKI reproduction.
+
+     cki_demo micro  [--backend cki|runc|hvm|pvm] [--nested]
+     cki_demo attack
+     cki_demo policy
+     cki_demo kv     [--clients N] [--redis] [--backend ...] [--nested]
+
+   (The full table/figure regeneration lives in bench/main.exe.) *)
+
+open Cmdliner
+
+let mk_backend name nested =
+  let env = if nested then Virt.Env.Nested else Virt.Env.Bare_metal in
+  match name with
+  | "runc" -> Virt.Runc.create ~env (Hw.Machine.create ~mem_mib:256 ())
+  | "hvm" -> Virt.Hvm.create ~env (Hw.Machine.create ~mem_mib:256 ())
+  | "pvm" -> Virt.Pvm.create ~env (Hw.Machine.create ~mem_mib:256 ())
+  | "cki" -> Cki.Container.backend (Cki.Container.create_standalone ~env ~mem_mib:256 ())
+  | other -> failwith ("unknown backend: " ^ other)
+
+let backend_arg =
+  Arg.(value & opt string "cki" & info [ "b"; "backend" ] ~doc:"Backend: cki, runc, hvm, pvm.")
+
+let nested_arg = Arg.(value & flag & info [ "nested" ] ~doc:"Deploy in a nested (IaaS VM) cloud.")
+
+let micro backend nested =
+  let b = mk_backend backend nested in
+  let task = Virt.Backend.spawn b in
+  let getpid =
+    Virt.Backend.mean_latency b ~n:1000 (fun () ->
+        ignore (Virt.Backend.syscall_exn b task Kernel_model.Syscall.Getpid))
+  in
+  let pages = 1024 in
+  let base =
+    match
+      Virt.Backend.syscall_exn b task
+        (Kernel_model.Syscall.Mmap { pages; prot = Kernel_model.Vma.prot_rw })
+    with
+    | Kernel_model.Syscall.Rint v -> v
+    | _ -> assert false
+  in
+  let _, pf =
+    Hw.Clock.timed b.Virt.Backend.clock (fun () ->
+        ignore (Kernel_model.Mm.touch_range task.Kernel_model.Task.mm ~start:base ~pages ~write:true))
+  in
+  Printf.printf "%s\n  syscall  %8.0f ns\n  pgfault  %8.0f ns\n" b.Virt.Backend.label getpid
+    (pf /. float_of_int pages);
+  if b.Virt.Backend.supports_hypercall then begin
+    let t0 = Hw.Clock.now b.Virt.Backend.clock in
+    b.Virt.Backend.empty_hypercall ();
+    Printf.printf "  hypercall%8.0f ns\n" (Hw.Clock.now b.Virt.Backend.clock -. t0)
+  end
+
+let attack () =
+  let c = Cki.Container.create_standalone ~mem_mib:256 () in
+  List.iter
+    (fun (name, o) ->
+      Printf.printf "%-28s %s\n" name
+        (match o with Cki.Attacks.Blocked m -> "blocked: " ^ m | Cki.Attacks.Succeeded -> "ESCAPED"))
+    (Cki.Attacks.all c)
+
+let policy () =
+  List.iter
+    (fun inst ->
+      Printf.printf "%-14s blocked=%-5b %s\n" (Hw.Priv.mnemonic inst)
+        (Hw.Priv.blocked_in_guest inst)
+        (Hw.Priv.show_virtualization (Hw.Priv.virtualized_as inst)))
+    Hw.Priv.all_examples
+
+let kv backend nested clients redis =
+  let b = mk_backend backend nested in
+  let flavor = if redis then Workloads.Kv.Redis else Workloads.Kv.Memcached in
+  let thr = Workloads.Kv.run_memtier b ~flavor ~clients ~requests:2000 in
+  Printf.printf "%s %s with %d clients: %.1f k ops/s\n" b.Virt.Backend.label
+    (Workloads.Kv.show_flavor flavor) clients (thr /. 1e3)
+
+let micro_cmd =
+  Cmd.v (Cmd.info "micro" ~doc:"Run the syscall/pgfault/hypercall microbenchmarks.")
+    Term.(const micro $ backend_arg $ nested_arg)
+
+let attack_cmd =
+  Cmd.v (Cmd.info "attack" ~doc:"Run the container-escape attack suite against CKI.")
+    Term.(const attack $ const ())
+
+let policy_cmd =
+  Cmd.v (Cmd.info "policy" ~doc:"Print the Table 3 privileged-instruction policy.")
+    Term.(const policy $ const ())
+
+let kv_cmd =
+  let clients = Arg.(value & opt int 32 & info [ "c"; "clients" ] ~doc:"Concurrent clients.") in
+  let redis = Arg.(value & flag & info [ "redis" ] ~doc:"Redis-like server (default memcached).") in
+  Cmd.v (Cmd.info "kv" ~doc:"Run the key-value serving workload.")
+    Term.(const kv $ backend_arg $ nested_arg $ clients $ redis)
+
+let () =
+  let doc = "CKI (EuroSys'25) reproduction demo driver" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "cki_demo" ~doc) [ micro_cmd; attack_cmd; policy_cmd; kv_cmd ]))

@@ -1,0 +1,1 @@
+examples/kv_serving.ml: Cki Hw List Printf Virt Workloads

@@ -1,0 +1,1 @@
+examples/nested_cloud.ml: Cki Hw Kernel_model List Printf Virt Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Cki Format Hw Kernel_model Printf Virt

@@ -1,0 +1,1 @@
+examples/security_attacks.ml: Cki Hw List Printf

@@ -1,0 +1,1 @@
+examples/sqlite_tmpfs.ml: Cki Hw List Printf Virt Workloads

@@ -1,0 +1,1 @@
+examples/sqlite_tmpfs.mli:

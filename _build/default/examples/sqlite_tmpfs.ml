@@ -1,0 +1,35 @@
+(* SQLite-on-tmpfs example (the Figure 14 scenario): run the db_bench
+   access patterns inside different secure containers and compare
+   throughput + syscall rates.
+
+     dune exec examples/sqlite_tmpfs.exe *)
+
+let () =
+  let ops = 1_500 in
+  let backends =
+    [
+      ("RunC", fun () -> Virt.Runc.create (Hw.Machine.create ~mem_mib:256 ()));
+      ("PVM", fun () -> Virt.Pvm.create (Hw.Machine.create ~mem_mib:256 ()));
+      ("CKI", fun () -> Cki.Container.backend (Cki.Container.create_standalone ~mem_mib:256 ()));
+    ]
+  in
+  Printf.printf "SQLite db_bench on tmpfs, %d ops per pattern (k ops/s)\n\n" ops;
+  Printf.printf "%-15s" "pattern";
+  List.iter (fun (n, _) -> Printf.printf "%10s" n) backends;
+  Printf.printf "%14s\n" "syscalls/op";
+  List.iter
+    (fun p ->
+      Printf.printf "%-15s" (Workloads.Sqlite.pattern_name p);
+      let spo = ref 0.0 in
+      List.iter
+        (fun (_, mk) ->
+          let r = Workloads.Sqlite.run_pattern (mk ()) p ~ops in
+          spo := r.Workloads.Sqlite.syscalls_per_op;
+          Printf.printf "%10.1f" (r.Workloads.Sqlite.ops_per_sec /. 1e3))
+        backends;
+      Printf.printf "%14.1f\n" !spo)
+    Workloads.Sqlite.all_patterns;
+  Printf.printf
+    "\nWrite patterns are syscall-dense (journal create/write/fsync/unlink per\n\
+     txn), so PVM's redirected syscalls cost ~20-30%% of throughput; batched\n\
+     and read patterns amortize; CKI's native syscalls track RunC everywhere.\n"

@@ -1,0 +1,1 @@
+lib/core/attacks.pp.ml: Container Gates Host Hw Kernel_model Ksm Layout Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/core/attacks.pp.mli: Container Format Hw

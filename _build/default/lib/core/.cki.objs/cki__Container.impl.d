@@ -1,0 +1,1 @@
+lib/core/container.pp.ml: Array Config Gates Hashtbl Host Hw Kernel_model Ksm Printf Virt

@@ -1,0 +1,1 @@
+lib/core/container.pp.mli: Config Gates Hashtbl Host Hw Kernel_model Ksm Virt

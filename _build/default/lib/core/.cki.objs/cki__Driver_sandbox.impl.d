@@ -1,0 +1,1 @@
+lib/core/driver_sandbox.pp.ml: Hashtbl Hw List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/core/driver_sandbox.pp.mli: Format Hashtbl Hw

@@ -1,0 +1,1 @@
+lib/core/gates.pp.ml: Config Hw Kernel_model Ksm Pervcpu Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/core/gates.pp.mli: Config Format Hw Kernel_model Ksm

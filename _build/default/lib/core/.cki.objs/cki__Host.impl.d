@@ -1,0 +1,1 @@
+lib/core/host.pp.ml: Hw Kernel_model List

@@ -1,0 +1,1 @@
+lib/core/host.pp.mli: Hw Kernel_model

@@ -1,0 +1,1 @@
+lib/core/ksm.pp.ml: Array Config Hashtbl Hw Layout List Option Pervcpu Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/core/ksm.pp.mli: Config Format Hw Pervcpu

@@ -1,0 +1,1 @@
+lib/core/layout.pp.mli: Hw

@@ -1,0 +1,1 @@
+lib/core/pervcpu.pp.ml: Array Hw Kernel_model Layout Ppx_deriving_runtime

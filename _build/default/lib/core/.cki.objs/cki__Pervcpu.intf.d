@@ -1,0 +1,1 @@
+lib/core/pervcpu.pp.mli: Format Hw Kernel_model

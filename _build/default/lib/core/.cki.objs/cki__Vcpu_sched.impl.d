@@ -1,0 +1,1 @@
+lib/core/vcpu_sched.pp.ml: Container Gates Host Hw Queue

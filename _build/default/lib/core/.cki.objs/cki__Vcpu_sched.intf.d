@@ -1,0 +1,1 @@
+lib/core/vcpu_sched.pp.mli: Container Host Queue

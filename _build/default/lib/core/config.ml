@@ -1,0 +1,51 @@
+(* CKI feature configuration — the knobs the paper ablates. *)
+
+type t = {
+  opt2 : bool;
+      (** eliminate page-table switches on the syscall path (guest
+          kernel mapped U/K-isolated inside guest-user address spaces);
+          disabling reproduces "CKI-wo-OPT2" *)
+  opt3 : bool;
+      (** sysret/swapgs execute natively in the guest kernel;
+          disabling routes them through the KSM ("CKI-wo-OPT3") *)
+  hugepages : bool;  (** back container memory with 2 MiB mappings *)
+  pti_in_gates : bool;
+      (** pay PTI/IBRS in the KSM gate — CKI eliminates this because
+          only container-private data is mapped in the KSM; enabling it
+          quantifies the saving *)
+  emulate_pvm_syscall : bool;
+      (** Section 7.3's experiment: run CKI but charge PVM's syscall
+          redirection, to isolate where the KV-store win comes from *)
+  design_pku : bool;
+      (** Section 3.1's rejected alternative: build the third privilege
+          level with PKU in user mode instead of PKS in kernel mode.
+          Exceptions must then be injected from host to guest across
+          rings, adding ~750 ns to every page fault (the reason
+          Design-PKS was chosen) *)
+  vcpus : int;  (** vCPUs per container *)
+  segment_frames : int;  (** contiguous hPA frames delegated at boot *)
+}
+
+let default =
+  {
+    opt2 = true;
+    opt3 = true;
+    hugepages = false;
+    pti_in_gates = false;
+    emulate_pvm_syscall = false;
+    design_pku = false;
+    vcpus = 2;
+    segment_frames = 16384 (* 64 MiB *);
+  }
+
+let wo_opt2 = { default with opt2 = false }
+let wo_opt3 = { default with opt3 = false }
+let pku_design = { default with design_pku = true }
+
+let label t =
+  if not t.opt2 then "CKI-wo-OPT2"
+  else if not t.opt3 then "CKI-wo-OPT3"
+  else if t.hugepages then "CKI-2M"
+  else if t.emulate_pvm_syscall then "CKI-pvmsys"
+  else if t.design_pku then "Design-PKU"
+  else "CKI"

@@ -1,0 +1,30 @@
+(** CKI feature configuration — the knobs the paper ablates. *)
+
+type t = {
+  opt2 : bool;
+      (** no page-table switches on the syscall path; disabling
+          reproduces "CKI-wo-OPT2" (Section 7.1) *)
+  opt3 : bool;
+      (** sysret/swapgs execute natively in the guest kernel;
+          disabling reproduces "CKI-wo-OPT3" *)
+  hugepages : bool;  (** back container memory with 2 MiB mappings *)
+  pti_in_gates : bool;
+      (** pay PTI/IBRS in the KSM gate — CKI normally elides it because
+          only container-private data is mapped in the KSM (Section 3.3) *)
+  emulate_pvm_syscall : bool;
+      (** Section 7.3: charge PVM's syscall redirection on CKI to
+          isolate where the KV-store win comes from *)
+  design_pku : bool;
+      (** Section 3.1's rejected alternative: PKU in user mode instead
+          of PKS in kernel mode; adds ~750 ns fault injection *)
+  vcpus : int;
+  segment_frames : int;  (** contiguous hPA frames delegated at boot *)
+}
+
+val default : t
+val wo_opt2 : t
+val wo_opt3 : t
+val pku_design : t
+
+val label : t -> string
+(** The display label benchmarks use ("CKI", "CKI-wo-OPT2", ...). *)

@@ -1,0 +1,195 @@
+(* A CKI secure container: guest kernel + KSM + gates on a delegated
+   hPA segment, exposed through the common [Virt.Backend.t] interface.
+
+   The platform wiring is where the paper's performance structure
+   lives:
+     - page faults: handled by the guest kernel natively; the only
+       extra cost is two KSM calls (PTE update + iret) — 77 ns;
+     - syscalls: fully native (OPT1 no redirection, OPT2 no page-table
+       switch, OPT3 native sysret/swapgs);
+     - address-space switches: a KSM call validating CR3 against the
+       declared roots, loading the per-vCPU copy;
+     - I/O and timers: hypercalls through the hypercall gate (390 ns),
+       with no L0 intervention even in nested clouds;
+     - single-stage translation: the guest buddy allocator hands out
+       host-physical frames directly. *)
+
+type t = {
+  backend : Virt.Backend.t;
+  host : Host.t;
+  ksm : Ksm.t;
+  gates : Gates.t;
+  cpus : Hw.Cpu.t array;
+  buddy : Kernel_model.Buddy.t;
+  cfg : Config.t;
+  container_id : int;
+  pcid : int;
+  mutable current_vcpu : int;
+  aspaces : (int, Hw.Addr.pfn) Hashtbl.t;  (** aspace id -> guest root PTP *)
+}
+
+let backend t = t.backend
+let ksm t = t.ksm
+let gates t = t.gates
+let cpu t i = t.cpus.(i)
+let buddy t = t.buddy
+let container_id t = t.container_id
+let pcid t = t.pcid
+
+(* Run the guest kernel's vCPU state: kernel mode with guest rights. *)
+let enter_guest_kernel (cpu : Hw.Cpu.t) =
+  cpu.Hw.Cpu.mode <- Hw.Cpu.Kernel;
+  cpu.Hw.Cpu.pkrs <- Hw.Pks.pkrs_guest
+
+let create ?(env = Virt.Env.Bare_metal) ?(cfg = Config.default) (host : Host.t) : t =
+  let machine = Host.machine host in
+  let mem = Hw.Machine.mem machine in
+  let clock = Hw.Machine.clock machine in
+  let container_id = Host.fresh_container_id host in
+  let pcid = Hw.Machine.fresh_pcid machine in
+  let base, frames = Host.delegate_segment host ~container:container_id ~frames:cfg.Config.segment_frames in
+  let ksm = Ksm.create mem clock ~container_id ~cfg ~segments:[ (base, frames) ] in
+  let gates =
+    Gates.create ~ksm ~cfg ~clock ~host_cr3:(Host.host_root host) ~host_pcid:(Host.host_pcid host)
+  in
+  let cpus =
+    Array.init cfg.Config.vcpus (fun id ->
+        let cpu = Hw.Cpu.create ~id clock in
+        cpu.Hw.Cpu.cr3 <- Ksm.kernel_root ksm;
+        cpu.Hw.Cpu.pcid <- pcid;
+        enter_guest_kernel cpu;
+        cpu)
+  in
+  let buddy = Kernel_model.Buddy.create ~base ~frames in
+  let aspaces = Hashtbl.create 16 in
+  let next_as = ref 0 in
+  let t_ref = ref None in
+  let vcpu0 () = cpus.(0) in
+  let hypercall kind =
+    match
+      Gates.hypercall gates (vcpu0 ()) ~vcpu:0 ~request:kind (Host.handle_hypercall host)
+    with
+    | Ok () -> ()
+    | Error e -> failwith ("CKI hypercall gate error: " ^ Gates.show_error e)
+  in
+  let ksm_exn label = function
+    | Ok v -> v
+    | Error e -> failwith (Printf.sprintf "KSM %s rejected: %s" label (Ksm.show_error e))
+  in
+  let root_of id =
+    match Hashtbl.find_opt aspaces id with
+    | Some r -> r
+    | None -> invalid_arg "cki: unknown address space"
+  in
+  let platform =
+    {
+      Kernel_model.Platform.name = "cki";
+      clock;
+      (* Single-stage translation: the buddy hands out hPA frames. *)
+      alloc_frame = (fun () -> Kernel_model.Buddy.alloc buddy);
+      free_frame = (fun pfn -> Kernel_model.Buddy.free buddy pfn);
+      as_create =
+        (fun () ->
+          let id = !next_as in
+          incr next_as;
+          let root = Kernel_model.Buddy.alloc buddy in
+          ksm_exn "declare_root" (Ksm.declare_root ksm ~pfn:root);
+          Hashtbl.replace aspaces id root;
+          id);
+      as_destroy =
+        (fun id ->
+          let root = root_of id in
+          ksm_exn "release_root"
+            (Ksm.release_root ksm ~root ~free_ptp:(fun pfn -> Kernel_model.Buddy.free buddy pfn));
+          Kernel_model.Buddy.free buddy root;
+          Hashtbl.remove aspaces id);
+      as_switch =
+        (fun id ->
+          let root = root_of id in
+          let copy = ksm_exn "load_cr3" (Ksm.load_cr3 ksm ~vcpu:0 ~root) in
+          Hw.Cpu.load_cr3 (vcpu0 ()) ~root:copy ~pcid);
+      pte_install =
+        (fun id ~va ~pfn ~writable ~user ->
+          let root = root_of id in
+          ksm_exn "guest_map"
+            (Ksm.guest_map ksm ~root ~va ~pfn
+               ~flags:{ Hw.Pte.default_flags with writable; user; nx = true }
+               ~alloc_ptp:(fun () -> Kernel_model.Buddy.alloc buddy)));
+      pte_remove =
+        (fun id ~va -> ksm_exn "guest_unmap" (Ksm.guest_unmap ksm ~root:(root_of id) ~va));
+      pte_protect =
+        (fun id ~va ~writable ->
+          ksm_exn "guest_protect" (Ksm.guest_protect ksm ~root:(root_of id) ~va ~writable));
+      fault_round_trip =
+        (fun () ->
+          (* The guest kernel fields the fault itself; returning to the
+             interrupted context needs iret via the KSM. *)
+          Ksm.iret ksm;
+          if cfg.Config.design_pku then
+            (* Design-PKU ablation (Section 3.1): the guest kernel sits
+               in ring 3, so the host must inject the fault across the
+               ring boundary. *)
+            Hw.Clock.charge clock "pku_fault_injection" 750.0);
+      fault_service_ns = Hw.Cost.pf_handler_cki;
+      syscall_round_trip =
+        (fun () ->
+          Hw.Clock.charge clock "syscall" Hw.Cost.syscall_entry_exit;
+          if not cfg.Config.opt2 then
+            (* ablation: page-table switch to/from the guest kernel *)
+            Hw.Clock.charge clock "cki_wo_opt2" (2.0 *. Hw.Cost.cr3_switch);
+          if not cfg.Config.opt3 then
+            (* ablation: sysret/swapgs via KSM -> two PKS switches *)
+            Hw.Clock.charge clock "cki_wo_opt3" (2.0 *. Hw.Cost.pks_switch);
+          if cfg.Config.emulate_pvm_syscall then begin
+            Hw.Clock.charge clock "pvm_sys_emul_mode" (2.0 *. Hw.Cost.extra_mode_switch);
+            Hw.Clock.charge clock "pvm_sys_emul_cr3" (2.0 *. Hw.Cost.cr3_switch)
+          end);
+      hypercall;
+      deliver_irq =
+        (fun () ->
+          (* Hardware interrupt during guest execution: interrupt gate
+             -> host handler -> virtual interrupt on resume. *)
+          match
+            Gates.interrupt gates (vcpu0 ()) ~vcpu:0 ~vector:Hw.Idt.vec_virtio_net
+              ~kind:Hw.Idt.Hardware (fun v -> Host.handle_hw_interrupt host ~vector:v)
+          with
+          | Ok () ->
+              Host.inject_virq host;
+              if Virt.Env.is_nested env then
+                Hw.Clock.charge clock "nested_irq_extra" Hw.Cost.nested_irq_extra
+          | Error e -> failwith ("CKI interrupt gate error: " ^ Gates.show_error e));
+      virtualized_io = true;
+    }
+  in
+  let kernel = Kernel_model.Kernel.create platform in
+  let label =
+    match Config.label cfg with
+    | "CKI" -> "CKI-" ^ Virt.Env.suffix env
+    | other -> other
+  in
+  let backend =
+    {
+      Virt.Backend.label;
+      backend_name = "cki";
+      env;
+      kernel;
+      platform;
+      clock;
+      walk_refs = Hw.Cost.walk_refs_native;
+      walk_refs_huge = Hw.Cost.walk_refs_native_huge;
+      supports_hypercall = true;
+      empty_hypercall = (fun () -> hypercall Kernel_model.Platform.Console);
+      guest_user_kernel_isolated = true;
+    }
+  in
+  let t =
+    { backend; host; ksm; gates; cpus; buddy; cfg; container_id; pcid; current_vcpu = 0; aspaces }
+  in
+  t_ref := Some t;
+  t
+
+(* Convenience: build a host + container in one step (examples). *)
+let create_standalone ?(env = Virt.Env.Bare_metal) ?(cfg = Config.default) ?(mem_mib = 512) () =
+  let machine = Hw.Machine.create ~mem_mib () in
+  let host = Host.create machine in
+  create ~env ~cfg host

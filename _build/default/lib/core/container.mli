@@ -1,0 +1,43 @@
+(** A CKI secure container: guest kernel + KSM + gates on a delegated
+    hPA segment, exposed through the common {!Virt.Backend.t}.
+
+    The platform wiring carries the paper's performance structure:
+    native syscalls (OPT1/2/3), page faults handled by the guest kernel
+    plus exactly two KSM calls (PTE update + iret = 77 ns), validated
+    CR3 loads on process switches, 390 ns hypercalls with no L0
+    involvement, and single-stage translation (the guest buddy
+    allocator hands out host-physical frames directly). *)
+
+type t = {
+  backend : Virt.Backend.t;
+  host : Host.t;
+  ksm : Ksm.t;
+  gates : Gates.t;
+  cpus : Hw.Cpu.t array;
+  buddy : Kernel_model.Buddy.t;
+  cfg : Config.t;
+  container_id : int;
+  pcid : int;
+  mutable current_vcpu : int;
+  aspaces : (int, Hw.Addr.pfn) Hashtbl.t;
+}
+
+val backend : t -> Virt.Backend.t
+val ksm : t -> Ksm.t
+val gates : t -> Gates.t
+val cpu : t -> int -> Hw.Cpu.t
+val buddy : t -> Kernel_model.Buddy.t
+val container_id : t -> int
+val pcid : t -> int
+
+val enter_guest_kernel : Hw.Cpu.t -> unit
+(** Put a vCPU into the guest-kernel state: kernel mode with
+    PKRS = PKRS_GUEST. *)
+
+val create : ?env:Virt.Env.t -> ?cfg:Config.t -> Host.t -> t
+(** Boot a container on [Host.t]: delegates a contiguous segment,
+    constructs the KSM (trusted boot), allocates a PCID and vCPUs, and
+    wires the guest kernel's platform. *)
+
+val create_standalone : ?env:Virt.Env.t -> ?cfg:Config.t -> ?mem_mib:int -> unit -> t
+(** Convenience: fresh machine + host + one container. *)

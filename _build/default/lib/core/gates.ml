@@ -1,0 +1,124 @@
+(* The three switch gates of Section 4.2 (Figure 8), simulated against
+   real CPU state so their security checks are executable:
+
+     - KSM call gate: wrpkrs to 0, secure-stack switch (per-vCPU area
+       found at a constant VA — no trusted gs), handler, wrpkrs back,
+       post-write check against ROP-style PKRS tampering;
+     - hypercall gate: wrpkrs to 0 + full context switch to the host
+       kernel (CR3, registers, IBRS towards the host);
+     - interrupt gate: entered by *hardware* interrupt delivery, which
+       (extension E4) saves PKRS and zeroes it before the first gate
+       instruction — there is no wrpkrs in the gate to abuse, and a
+       guest jumping to the gate entry keeps PKRS_GUEST and faults on
+       the per-vCPU area. *)
+
+type error =
+  | Pkrs_tamper_detected  (** post-wrpkrs check failed: ROP abuse *)
+  | Forgery_detected  (** gate entered without hardware PKRS switch *)
+  | Not_kernel_mode
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  ksm : Ksm.t;
+  cfg : Config.t;
+  clock : Hw.Clock.t;
+  host_cr3 : Hw.Addr.pfn;
+  host_pcid : int;
+  mutable forged_interrupts_blocked : int;
+  mutable tampers_blocked : int;
+}
+
+let create ~ksm ~cfg ~clock ~host_cr3 ~host_pcid =
+  { ksm; cfg; clock; host_cr3; host_pcid; forged_interrupts_blocked = 0; tampers_blocked = 0 }
+
+(* The switch_pks macro of Figure 8a: write PKRS then verify the write
+   took the intended value.  [tamper] simulates an attacker reaching
+   the wrpkrs with a register holding a different value. *)
+let switch_pks (cpu : Hw.Cpu.t) ~target ?tamper () : (unit, error) result =
+  let written = match tamper with Some v -> v | None -> target in
+  match Hw.Cpu.exec_priv cpu (Hw.Priv.Wrpkrs written) with
+  | Error _ -> Error Not_kernel_mode
+  | Ok () -> if cpu.Hw.Cpu.pkrs <> target then Error Pkrs_tamper_detected else Ok ()
+
+(* KSM call gate (Figure 8a).  Runs [f] with monitor rights on the
+   vCPU's secure stack.  [tamper_entry]/[tamper_exit] simulate an
+   attacker reaching either wrpkrs with a chosen register value; the
+   interesting attack is ROP-ing to the *exit* wrpkrs with a permissive
+   value, which the post-write check catches. *)
+let ksm_call (t : t) (cpu : Hw.Cpu.t) ~vcpu ?tamper_entry ?tamper_exit (f : unit -> 'a) :
+    ('a, error) result =
+  if cpu.Hw.Cpu.mode <> Hw.Cpu.Kernel then Error Not_kernel_mode
+  else
+    let saved = cpu.Hw.Cpu.pkrs in
+    let abort e =
+      if e = Pkrs_tamper_detected then t.tampers_blocked <- t.tampers_blocked + 1;
+      cpu.Hw.Cpu.pkrs <- saved;
+      Error e
+    in
+    match switch_pks cpu ~target:Hw.Pks.all_access ?tamper:tamper_entry () with
+    | Error e -> abort e
+    | Ok () ->
+        (* gs is untrusted: the secure stack is found at the constant
+           per-vCPU VA, which needs monitor rights. *)
+        assert (Pervcpu.accessible_with ~pkrs:cpu.Hw.Cpu.pkrs);
+        let area = Pervcpu.area (Ksm.pervcpu t.ksm) vcpu in
+        Pervcpu.push_stack area;
+        let result = f () in
+        Pervcpu.pop_stack area;
+        (match switch_pks cpu ~target:saved ?tamper:tamper_exit () with
+        | Ok () -> Ok result
+        | Error e -> abort e)
+
+(* Hypercall gate (Figure 8b, left): full exit to the host kernel. *)
+let hypercall (t : t) (cpu : Hw.Cpu.t) ~vcpu ~(request : Kernel_model.Platform.io_kind)
+    (host_handler : Kernel_model.Platform.io_kind -> unit) : (unit, error) result =
+  if cpu.Hw.Cpu.mode <> Hw.Cpu.Kernel then Error Not_kernel_mode
+  else
+    let guest_pkrs = cpu.Hw.Cpu.pkrs in
+    let guest_cr3 = cpu.Hw.Cpu.cr3 in
+    let guest_pcid = cpu.Hw.Cpu.pcid in
+    match switch_pks cpu ~target:Hw.Pks.all_access () with
+    | Error e -> Error e
+    | Ok () ->
+        let area = Pervcpu.area (Ksm.pervcpu t.ksm) vcpu in
+        area.Pervcpu.exit_reason <- Some (Pervcpu.Exit_hypercall request);
+        area.Pervcpu.saved_guest_context <- area.Pervcpu.saved_guest_context + 1;
+        (* exit_to_host: CR3 to the host kernel, registers, IBRS. *)
+        cpu.Hw.Cpu.cr3 <- t.host_cr3;
+        cpu.Hw.Cpu.pcid <- t.host_pcid;
+        Hw.Clock.charge t.clock "cki_hypercall" Hw.Cost.cki_hypercall;
+        host_handler request;
+        (* resume: restore guest context *)
+        cpu.Hw.Cpu.cr3 <- guest_cr3;
+        cpu.Hw.Cpu.pcid <- guest_pcid;
+        area.Pervcpu.exit_reason <- None;
+        (match switch_pks cpu ~target:guest_pkrs () with Ok () -> Ok () | Error e -> Error e)
+
+(* Interrupt gate (Figure 8b, right).  [kind] is how control reached
+   the gate: [Hardware] delivery applies extension E4 (PKRS saved and
+   zeroed by the CPU); a guest jumping here directly is [Software] and
+   must be caught. *)
+let interrupt (t : t) (cpu : Hw.Cpu.t) ~vcpu ~vector ~(kind : Hw.Idt.delivery)
+    (host_handler : int -> unit) : (unit, error) result =
+  let entry = Hw.Idt.deliver (Ksm.idt t.ksm) cpu ~kind vector in
+  ignore entry;
+  (* First gate action: save IRQ info into the per-vCPU area.  With
+     PKRS still at PKRS_GUEST (forged entry) this access faults. *)
+  if not (Pervcpu.accessible_with ~pkrs:cpu.Hw.Cpu.pkrs) then begin
+    t.forged_interrupts_blocked <- t.forged_interrupts_blocked + 1;
+    Error Forgery_detected
+  end
+  else begin
+    let area = Pervcpu.area (Ksm.pervcpu t.ksm) vcpu in
+    area.Pervcpu.exit_reason <- Some (Pervcpu.Exit_interrupt vector);
+    Hw.Clock.charge t.clock "cki_irq_exit" Hw.Cost.irq_delivery;
+    host_handler vector;
+    area.Pervcpu.exit_reason <- None;
+    (* iret with PKRS = 0 (allowed), restoring the saved PKRS (E4). *)
+    match Hw.Cpu.exec_priv cpu Hw.Priv.Iret with
+    | Ok () -> Ok ()
+    | Error _ -> Error Not_kernel_mode
+  end
+
+let forged_blocked t = t.forged_interrupts_blocked
+let tampers_blocked t = t.tampers_blocked

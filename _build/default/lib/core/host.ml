@@ -1,0 +1,100 @@
+(* The CKI host-kernel side: hPA segment delegation, vCPU scheduling,
+   VirtIO backends, hardware-interrupt handling and virtual-interrupt
+   injection (Sections 3.3 and 4.2, "slow paths").
+
+   In a nested cloud the host kernel *is* the L1 kernel; the crucial
+   property is that a CKI exit never involves the L0 hypervisor, so the
+   costs here are environment-independent. *)
+
+type delegated = { base : Hw.Addr.pfn; frames : int; container : int }
+
+type t = {
+  machine : Hw.Machine.t;
+  clock : Hw.Clock.t;
+  host_root : Hw.Addr.pfn;  (** host kernel page-table root *)
+  host_pcid : int;
+  mutable delegations : delegated list;
+  mutable next_container : int;
+  mutable hypercalls : int;
+  mutable injected_virqs : int;
+  mutable hw_interrupts : int;
+}
+
+let create (machine : Hw.Machine.t) =
+  let mem = Hw.Machine.mem machine in
+  let host_root = Hw.Phys_mem.alloc mem ~owner:Hw.Phys_mem.Host ~kind:(Hw.Phys_mem.Page_table 4) in
+  {
+    machine;
+    clock = Hw.Machine.clock machine;
+    host_root;
+    host_pcid = 0;
+    delegations = [];
+    next_container = 1;
+    hypercalls = 0;
+    injected_virqs = 0;
+    hw_interrupts = 0;
+  }
+
+let machine t = t.machine
+let host_root t = t.host_root
+let host_pcid t = t.host_pcid
+
+let fresh_container_id t =
+  let id = t.next_container in
+  t.next_container <- id + 1;
+  id
+
+(* Delegate a contiguous hPA segment to [container].  First-fit over
+   physical memory — the fragmentation-prone allocation the paper
+   acknowledges as CKI's limitation. *)
+let delegate_segment t ~container ~frames =
+  let mem = Hw.Machine.mem t.machine in
+  let base =
+    Hw.Phys_mem.alloc_contiguous mem ~owner:(Hw.Phys_mem.Container container)
+      ~kind:Hw.Phys_mem.Data ~count:frames
+  in
+  t.delegations <- { base; frames; container } :: t.delegations;
+  (base, frames)
+
+let reclaim_segment t ~container =
+  let mem = Hw.Machine.mem t.machine in
+  let mine, rest = List.partition (fun d -> d.container = container) t.delegations in
+  List.iter
+    (fun d ->
+      for pfn = d.base to d.base + d.frames - 1 do
+        if not (Hw.Phys_mem.is_free mem pfn) then Hw.Phys_mem.free mem pfn
+      done)
+    mine;
+  t.delegations <- rest
+
+let delegations_of t ~container = List.filter (fun d -> d.container = container) t.delegations
+
+(* Host-side handler for hypercall requests (the global-data privileged
+   operations of Section 3.3: VirtIO, timers, vCPU pause, IPIs). *)
+let handle_hypercall t (kind : Kernel_model.Platform.io_kind) =
+  t.hypercalls <- t.hypercalls + 1;
+  match kind with
+  | Kernel_model.Platform.Net_tx | Kernel_model.Platform.Net_rx_ack
+  | Kernel_model.Platform.Blk_read | Kernel_model.Platform.Blk_write ->
+      (* The VirtIO backend service cost is charged by the queue owner
+         (Kernel_model.Virtio.service); nothing extra here. *)
+      ()
+  | Kernel_model.Platform.Timer -> Hw.Clock.charge t.clock "host_timer_setup" 120.0
+  | Kernel_model.Platform.Ipi -> Hw.Clock.charge t.clock "host_ipi" 200.0
+  | Kernel_model.Platform.Console -> ()
+
+(* A hardware interrupt arrived while a container vCPU was running: the
+   interrupt gate redirected it here; handle and inject a virtual
+   interrupt on resume. *)
+let handle_hw_interrupt t ~vector =
+  ignore vector;
+  t.hw_interrupts <- t.hw_interrupts + 1;
+  Hw.Clock.charge t.clock "host_irq_handler" Hw.Cost.irq_delivery
+
+let inject_virq t =
+  t.injected_virqs <- t.injected_virqs + 1;
+  Hw.Clock.charge t.clock "virq_inject" Hw.Cost.virq_inject
+
+let hypercall_count t = t.hypercalls
+let injected_virqs t = t.injected_virqs
+let hw_interrupt_count t = t.hw_interrupts

@@ -1,0 +1,481 @@
+(* The Kernel Security Monitor.
+
+   One KSM instance lives inside each container's address space,
+   PKS-isolated from the guest kernel it supervises.  It owns the
+   privileged operations that touch only container-private data:
+
+     - page-table-page (PTP) declaration and PTE updates, enforcing the
+       nested-kernel-style invariants of Section 4.3:
+         I1. only declared frames are used as PTPs;
+         I2. declared PTPs are read-only to the guest (pkey_ptp);
+         I3. only a declared top-level PTP can be loaded into CR3;
+       plus: no PTE may target KSM/host memory, no declared PTP may be
+       mapped (writable or at all) by a guest PTE, no *new*
+       kernel-executable mappings;
+     - per-vCPU top-level PTP copies that splice the KSM region and the
+       per-vCPU area into every activated page table;
+     - CR3 loads (validated against I3, redirected to the vCPU's copy);
+     - iret on behalf of the guest. *)
+
+type page_state =
+  | Guest_data
+  | Guest_ptp of int  (** declared PTP at level 1..4 *)
+  | Ksm_private
+[@@deriving show { with_path = false }, eq]
+
+type desc = {
+  mutable state : page_state;
+  mutable ptp_map_count : int;  (** times mapped while a declared PTP *)
+}
+
+type root_info = { copies : Hw.Addr.pfn array (* per vCPU *) }
+
+type error =
+  | Not_guest_frame of Hw.Addr.pfn
+  | Already_declared of Hw.Addr.pfn
+  | Not_declared of Hw.Addr.pfn
+  | Wrong_level of { expected : int; got : int }
+  | Ptp_mapped_twice of Hw.Addr.pfn
+  | Targets_monitor_memory of Hw.Addr.va
+  | Maps_declared_ptp of Hw.Addr.pfn
+  | Kernel_executable_mapping of Hw.Addr.va
+  | Undeclared_root of Hw.Addr.pfn
+  | Reserved_range of Hw.Addr.va
+  | Bad_vcpu of int
+[@@deriving show { with_path = false }]
+
+type t = {
+  container_id : int;
+  mem : Hw.Phys_mem.t;
+  clock : Hw.Clock.t;
+  cfg : Config.t;
+  segments : (Hw.Addr.pfn * int) list;  (** delegated (base, frames) *)
+  descs : (Hw.Addr.pfn, desc) Hashtbl.t;
+  roots : (Hw.Addr.pfn, root_info) Hashtbl.t;
+  pervcpu : Pervcpu.t;
+  kernel_root : Hw.Addr.pfn;  (** the guest kernel's boot address space *)
+  template : (int * int64) list;  (** fixed L4 slots: direct map, image, KSM *)
+  mutable kernel_exec_frozen : bool;  (** no new kernel-exec mappings *)
+  mutable ksm_calls : int;
+  idt : Hw.Idt.t;  (** container IDT, resident in KSM memory *)
+}
+
+let owns_frame t pfn = List.exists (fun (b, n) -> pfn >= b && pfn < b + n) t.segments
+
+let desc t pfn =
+  match Hashtbl.find_opt t.descs pfn with
+  | Some d -> d
+  | None ->
+      let d = { state = Guest_data; ptp_map_count = 0 } in
+      Hashtbl.replace t.descs pfn d;
+      d
+
+(* ------------------------------------------------------------------ *)
+(* Boot-time construction (trusted initialization)                     *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_ksm_frame t kind = Hw.Phys_mem.alloc t.mem ~owner:(Hw.Phys_mem.Ksm t.container_id) ~kind
+
+let write_raw t ~pfn ~index v = Hw.Phys_mem.write_entry t.mem ~pfn ~index v
+let read_raw t ~pfn ~index = Hw.Phys_mem.read_entry t.mem ~pfn ~index
+
+(* Build a subtree mapping [pages] 4-KiB pages starting at [va_base]
+   backed by [frame_of i], with [pkey]; returns the L3 root to splice
+   at L4.  Only supports regions within one L4 slot. *)
+let build_subtree t ~va_base ~pages ~frame_of ~pkey ~user ~writable ~nx =
+  let l3 = alloc_ksm_frame t (Hw.Phys_mem.Page_table 3) in
+  let l2s : (int, Hw.Addr.pfn) Hashtbl.t = Hashtbl.create 8 in
+  let l1s : (int, Hw.Addr.pfn) Hashtbl.t = Hashtbl.create 64 in
+  for i = 0 to pages - 1 do
+    let va = va_base + (i * Hw.Addr.page_size) in
+    let i3 = Hw.Addr.index_at_level ~lvl:3 va in
+    let l2 =
+      match Hashtbl.find_opt l2s i3 with
+      | Some p -> p
+      | None ->
+          let p = alloc_ksm_frame t (Hw.Phys_mem.Page_table 2) in
+          Hashtbl.replace l2s i3 p;
+          write_raw t ~pfn:l3 ~index:i3
+            (Hw.Pte.make ~pfn:p ~flags:{ Hw.Pte.default_flags with writable = true });
+          p
+    in
+    let i2 = Hw.Addr.index_at_level ~lvl:2 va in
+    let l1 =
+      match Hashtbl.find_opt l1s ((i3 * 512) + i2) with
+      | Some p -> p
+      | None ->
+          let p = alloc_ksm_frame t (Hw.Phys_mem.Page_table 1) in
+          Hashtbl.replace l1s ((i3 * 512) + i2) p;
+          write_raw t ~pfn:l2 ~index:i2
+            (Hw.Pte.make ~pfn:p ~flags:{ Hw.Pte.default_flags with writable = true });
+          p
+    in
+    write_raw t ~pfn:l1 ~index:(Hw.Addr.index_at_level ~lvl:1 va)
+      (Hw.Pte.make ~pfn:(frame_of i) ~flags:{ Hw.Pte.writable; user; nx; huge = false; pkey })
+  done;
+  l3
+
+let ksm_code_pages = 16
+let kernel_image_pages = 64
+
+let create mem clock ~container_id ~cfg ~segments =
+  let vcpus = cfg.Config.vcpus in
+  let pervcpu = Pervcpu.create mem ~container_id ~vcpus in
+  let t =
+    {
+      container_id;
+      mem;
+      clock;
+      cfg;
+      segments;
+      descs = Hashtbl.create 4096;
+      roots = Hashtbl.create 16;
+      pervcpu;
+      kernel_root = 0;
+      template = [];
+      kernel_exec_frozen = false;
+      ksm_calls = 0;
+      idt = Hw.Idt.create ();
+    }
+  in
+  (* KSM code/data region. *)
+  let ksm_frames = Array.init ksm_code_pages (fun _ -> alloc_ksm_frame t Hw.Phys_mem.Ksm_code) in
+  let ksm_l3 =
+    build_subtree t ~va_base:Layout.ksm_base ~pages:ksm_code_pages
+      ~frame_of:(fun i -> ksm_frames.(i))
+      ~pkey:Hw.Pks.pkey_ksm ~user:false ~writable:true ~nx:false
+  in
+  (* Guest kernel image: kernel-executable, read-only, frozen at boot. *)
+  let image_frames =
+    Array.init kernel_image_pages (fun _ ->
+        Hw.Phys_mem.alloc mem ~owner:(Hw.Phys_mem.Container container_id)
+          ~kind:Hw.Phys_mem.Kernel_code)
+  in
+  let image_l3 =
+    build_subtree t ~va_base:Layout.kernel_image_base ~pages:kernel_image_pages
+      ~frame_of:(fun i -> image_frames.(i))
+      ~pkey:Hw.Pks.pkey_guest ~user:false ~writable:false ~nx:false
+  in
+  (* Direct map of the delegated hPA segments (4-KiB PTEs so declared
+     PTPs can be individually re-tagged pkey_ptp). *)
+  let seg_frames = List.concat_map (fun (b, n) -> List.init n (fun i -> b + i)) segments in
+  let seg_array = Array.of_list seg_frames in
+  let direct_l3 =
+    match segments with
+    | [] -> invalid_arg "Ksm.create: no delegated segments"
+    | (base, _) :: _ ->
+        build_subtree t
+          ~va_base:(Layout.direct_va_of_pa (Hw.Addr.pa_of_pfn base))
+          ~pages:(Array.length seg_array)
+          ~frame_of:(fun i -> seg_array.(i))
+          ~pkey:Hw.Pks.pkey_guest ~user:false ~writable:true ~nx:true
+  in
+  let mk_link pfn = Hw.Pte.make ~pfn ~flags:{ Hw.Pte.default_flags with writable = true } in
+  let template =
+    [
+      (Layout.l4_direct, mk_link direct_l3);
+      (Layout.l4_kernel_image, mk_link image_l3);
+      (Layout.l4_ksm, mk_link ksm_l3);
+    ]
+  in
+  (* Container IDT lives in KSM memory: all hardware vectors request
+     IST + the PKS-switch extension (Section 4.4). *)
+  List.iter
+    (fun v ->
+      Hw.Idt.set t.idt
+        { Hw.Idt.vector = v; handler = "cki_interrupt_gate"; ist = Some 1; pks_switch = true;
+          user_invocable = false })
+    [ Hw.Idt.vec_timer; Hw.Idt.vec_virtio_net; Hw.Idt.vec_virtio_blk; Hw.Idt.vec_ipi ];
+  (* Page fault + #GP vector to the guest kernel's own handlers (fast
+     path, no PKS switch: the guest handles its own user faults). *)
+  List.iter
+    (fun v ->
+      Hw.Idt.set t.idt
+        { Hw.Idt.vector = v; handler = "guest_fault_entry"; ist = None; pks_switch = false;
+          user_invocable = false })
+    [ Hw.Idt.vec_page_fault; Hw.Idt.vec_gp_fault ];
+  Hw.Idt.lock t.idt;
+  let t = { t with template } in
+  (* The guest kernel's boot address space: a KSM-owned root so boot is
+     trusted; guest process roots come later from guest memory. *)
+  let kernel_root = alloc_ksm_frame t (Hw.Phys_mem.Page_table 4) in
+  List.iter (fun (idx, e) -> write_raw t ~pfn:kernel_root ~index:idx e) template;
+  let t = { t with kernel_root } in
+  Hashtbl.replace t.roots kernel_root
+    {
+      copies =
+        Array.init vcpus (fun v ->
+            let copy = alloc_ksm_frame t (Hw.Phys_mem.Page_table 4) in
+            List.iter (fun (idx, e) -> write_raw t ~pfn:copy ~index:idx e) template;
+            write_raw t ~pfn:copy ~index:Layout.l4_pervcpu (Pervcpu.l4_entry pervcpu v);
+            copy);
+    };
+  t.kernel_exec_frozen <- true;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Gate-accounted entry points                                         *)
+(* ------------------------------------------------------------------ *)
+
+let charge_call t =
+  t.ksm_calls <- t.ksm_calls + 1;
+  Hw.Clock.charge t.clock "ksm_call" Hw.Cost.ksm_call;
+  if t.cfg.Config.pti_in_gates then begin
+    Hw.Clock.charge t.clock "gate_pti" Hw.Cost.pti_overhead;
+    Hw.Clock.charge t.clock "gate_ibrs" Hw.Cost.ibrs_overhead
+  end
+
+(* Find the direct-map leaf location of [pfn] so its pkey can be
+   retagged; the direct map is KSM-built, so the walk is internal. *)
+let direct_map_leaf t pfn =
+  let va = Layout.direct_va_of_pa (Hw.Addr.pa_of_pfn pfn) in
+  let rec go lvl table =
+    let idx = Hw.Addr.index_at_level ~lvl va in
+    if lvl = 1 then (table, idx)
+    else
+      let e = read_raw t ~pfn:table ~index:idx in
+      if not (Hw.Pte.is_present e) then invalid_arg "Ksm: frame missing from direct map"
+      else go (lvl - 1) (Hw.Pte.pfn e)
+  in
+  go 4 t.kernel_root
+
+let retag_direct_map t pfn ~pkey =
+  match direct_map_leaf t pfn with
+  | table, idx ->
+      let e = read_raw t ~pfn:table ~index:idx in
+      write_raw t ~pfn:table ~index:idx (Hw.Pte.with_pkey e pkey)
+  | exception Invalid_argument _ -> ()
+
+(* Declare [pfn] as a PTP at [level] (invariants I1 + I2). *)
+let declare_ptp t ~pfn ~level : (unit, error) result =
+  charge_call t;
+  if not (owns_frame t pfn) then Error (Not_guest_frame pfn)
+  else if level < 1 || level > 4 then Error (Wrong_level { expected = 1; got = level })
+  else
+    let d = desc t pfn in
+    match d.state with
+    | Guest_ptp _ | Ksm_private -> Error (Already_declared pfn)
+    | Guest_data ->
+        d.state <- Guest_ptp level;
+        Hw.Phys_mem.set_kind t.mem pfn (Hw.Phys_mem.Page_table level);
+        Hw.Phys_mem.clear_table t.mem pfn;
+        (* I2: the guest's direct-map view of this frame becomes
+           read-only via pkey_ptp. *)
+        retag_direct_map t pfn ~pkey:Hw.Pks.pkey_ptp;
+        Ok ()
+
+let undeclare_ptp t ~pfn : (unit, error) result =
+  if not (owns_frame t pfn) then Error (Not_guest_frame pfn)
+  else
+    let d = desc t pfn in
+    match d.state with
+    | Guest_data | Ksm_private -> Error (Not_declared pfn)
+    | Guest_ptp _ ->
+        d.state <- Guest_data;
+        d.ptp_map_count <- 0;
+        Hw.Phys_mem.set_kind t.mem pfn Hw.Phys_mem.Data;
+        retag_direct_map t pfn ~pkey:Hw.Pks.pkey_guest;
+        Ok ()
+
+(* Validate a prospective leaf mapping va -> pfn with [flags]. *)
+let check_leaf t ~va ~pfn ~(flags : Hw.Pte.flags) : (unit, error) result =
+  if Layout.in_ksm va || Layout.in_pervcpu va then Error (Reserved_range va)
+  else if not (owns_frame t pfn) then Error (Targets_monitor_memory va)
+  else
+    let d = desc t pfn in
+    match d.state with
+    | Ksm_private -> Error (Targets_monitor_memory va)
+    | Guest_ptp _ -> Error (Maps_declared_ptp pfn)
+    | Guest_data ->
+        if t.kernel_exec_frozen && (not flags.Hw.Pte.user) && not flags.Hw.Pte.nx then
+          Error (Kernel_executable_mapping va)
+        else Ok ()
+
+(* Propagate a write of top-level slot [idx] to all per-vCPU copies
+   (the user-range slots only; fixed slots are KSM-managed). *)
+let propagate_top t ~root ~idx v =
+  match Hashtbl.find_opt t.roots root with
+  | None -> ()
+  | Some info -> Array.iter (fun copy -> write_raw t ~pfn:copy ~index:idx v) info.copies
+
+(* The validated PTE-update path (one KSM call): installs va -> pfn in
+   the page table rooted at [root], allocating intermediate PTPs via
+   [alloc_ptp] (guest frames, declared inline).  Huge leaves sit at
+   level 2. *)
+let guest_map t ~root ~va ~pfn ~(flags : Hw.Pte.flags) ~alloc_ptp : (unit, error) result =
+  charge_call t;
+  let leaf_level = if flags.Hw.Pte.huge then 2 else 1 in
+  match (desc t root).state with
+  | (Guest_data | Ksm_private) when not (Hashtbl.mem t.roots root) -> Error (Undeclared_root root)
+  | _ -> (
+      match check_leaf t ~va ~pfn ~flags with
+      | Error e -> Error e
+      | Ok () ->
+          let rec go lvl table =
+            let idx = Hw.Addr.index_at_level ~lvl va in
+            if lvl = leaf_level then begin
+              write_raw t ~pfn:table ~index:idx (Hw.Pte.make ~pfn ~flags);
+              if lvl = 4 then propagate_top t ~root ~idx (Hw.Pte.make ~pfn ~flags);
+              Ok ()
+            end
+            else
+              let e = read_raw t ~pfn:table ~index:idx in
+              if Hw.Pte.is_present e then go (lvl - 1) (Hw.Pte.pfn e)
+              else
+                let new_ptp = alloc_ptp () in
+                match
+                  if owns_frame t new_ptp then begin
+                    (* Inline declaration: the guest passed a fresh frame
+                       to become a PTP at lvl-1. *)
+                    let d = desc t new_ptp in
+                    match d.state with
+                    | Guest_data ->
+                        d.state <- Guest_ptp (lvl - 1);
+                        d.ptp_map_count <- 1;
+                        Hw.Phys_mem.set_kind t.mem new_ptp (Hw.Phys_mem.Page_table (lvl - 1));
+                        Hw.Phys_mem.clear_table t.mem new_ptp;
+                        retag_direct_map t new_ptp ~pkey:Hw.Pks.pkey_ptp;
+                        Ok ()
+                    | Guest_ptp _ | Ksm_private -> Error (Already_declared new_ptp)
+                  end
+                  else Error (Not_guest_frame new_ptp)
+                with
+                | Error e -> Error e
+                | Ok () ->
+                    let link =
+                      Hw.Pte.make ~pfn:new_ptp
+                        ~flags:{ Hw.Pte.default_flags with writable = true; user = true }
+                    in
+                    write_raw t ~pfn:table ~index:idx link;
+                    if lvl = 4 then propagate_top t ~root ~idx link;
+                    go (lvl - 1) new_ptp
+          in
+          go 4 root)
+
+let guest_unmap t ~root ~va : (unit, error) result =
+  charge_call t;
+  if not (Hashtbl.mem t.roots root) then Error (Undeclared_root root)
+  else if Layout.in_ksm va || Layout.in_pervcpu va then Error (Reserved_range va)
+  else begin
+    let rec go lvl table =
+      let idx = Hw.Addr.index_at_level ~lvl va in
+      let e = read_raw t ~pfn:table ~index:idx in
+      if not (Hw.Pte.is_present e) then ()
+      else if lvl = 1 || (lvl = 2 && Hw.Pte.is_huge e) then begin
+        write_raw t ~pfn:table ~index:idx Hw.Pte.empty;
+        if lvl = 4 then propagate_top t ~root ~idx Hw.Pte.empty
+      end
+      else go (lvl - 1) (Hw.Pte.pfn e)
+    in
+    go 4 root;
+    Ok ()
+  end
+
+let guest_protect t ~root ~va ~writable : (unit, error) result =
+  charge_call t;
+  if not (Hashtbl.mem t.roots root) then Error (Undeclared_root root)
+  else if Layout.in_ksm va || Layout.in_pervcpu va then Error (Reserved_range va)
+  else begin
+    let rec go lvl table =
+      let idx = Hw.Addr.index_at_level ~lvl va in
+      let e = read_raw t ~pfn:table ~index:idx in
+      if not (Hw.Pte.is_present e) then ()
+      else if lvl = 1 || (lvl = 2 && Hw.Pte.is_huge e) then
+        write_raw t ~pfn:table ~index:idx (Hw.Pte.with_writable e writable)
+      else go (lvl - 1) (Hw.Pte.pfn e)
+    in
+    go 4 root;
+    Ok ()
+  end
+
+(* Declare a guest frame as a top-level PTP and build its per-vCPU
+   copies (invariant I3 + Section 4.3 "per-vCPU page table"). *)
+let declare_root t ~pfn : (unit, error) result =
+  match declare_ptp t ~pfn ~level:4 with
+  | Error e -> Error e
+  | Ok () ->
+      List.iter (fun (idx, e) -> write_raw t ~pfn ~index:idx e) t.template;
+      let copies =
+        Array.init (Pervcpu.vcpus t.pervcpu) (fun v ->
+            let copy = alloc_ksm_frame t (Hw.Phys_mem.Page_table 4) in
+            for idx = 0 to Hw.Addr.entries_per_table - 1 do
+              write_raw t ~pfn:copy ~index:idx (read_raw t ~pfn ~index:idx)
+            done;
+            write_raw t ~pfn:copy ~index:Layout.l4_pervcpu (Pervcpu.l4_entry t.pervcpu v);
+            copy)
+      in
+      Hashtbl.replace t.roots pfn { copies };
+      Ok ()
+
+(* Validated CR3 load: only declared top-level PTPs; the loaded value
+   is the caller vCPU's copy (which maps that vCPU's area). *)
+let load_cr3 t ~vcpu ~root : (Hw.Addr.pfn, error) result =
+  charge_call t;
+  if vcpu < 0 || vcpu >= Pervcpu.vcpus t.pervcpu then Error (Bad_vcpu vcpu)
+  else
+    match Hashtbl.find_opt t.roots root with
+    | None -> Error (Undeclared_root root)
+    | Some info -> Ok info.copies.(vcpu)
+
+(* Read a top-level PTE, propagating accessed/dirty bits from the
+   per-vCPU copies into the original (Section 4.3). *)
+let read_top_pte t ~root ~idx : (int64, error) result =
+  match Hashtbl.find_opt t.roots root with
+  | None -> Error (Undeclared_root root)
+  | Some info ->
+      let acc = ref (read_raw t ~pfn:root ~index:idx) in
+      Array.iter
+        (fun copy ->
+          let e = read_raw t ~pfn:copy ~index:idx in
+          if Hw.Pte.is_accessed e then acc := Hw.Pte.mark_accessed !acc;
+          if Hw.Pte.is_dirty e then acc := Hw.Pte.mark_dirty !acc)
+        info.copies;
+      write_raw t ~pfn:root ~index:idx !acc;
+      Ok !acc
+
+(* iret executed by the KSM on the guest's behalf (Table 3). *)
+let iret t = charge_call t
+
+(* Release a process address space: undeclare + return its user-range
+   PTPs through [free_ptp]; the KSM-owned copies are freed. *)
+let release_root t ~root ~free_ptp : (unit, error) result =
+  match Hashtbl.find_opt t.roots root with
+  | None -> Error (Undeclared_root root)
+  | Some info ->
+      let rec free_subtree lvl table =
+        if lvl > 1 then
+          for idx = 0 to Hw.Addr.entries_per_table - 1 do
+            let e = read_raw t ~pfn:table ~index:idx in
+            if Hw.Pte.is_present e && not (Hw.Pte.is_huge e) then begin
+              let child = Hw.Pte.pfn e in
+              if owns_frame t child then begin
+                free_subtree (lvl - 1) child;
+                ignore (undeclare_ptp t ~pfn:child);
+                free_ptp child
+              end
+            end
+          done
+      in
+      (* Only the user-range slots hold guest-owned subtrees. *)
+      for idx = 0 to Layout.l4_user_max do
+        let e = read_raw t ~pfn:root ~index:idx in
+        if Hw.Pte.is_present e then begin
+          let child = Hw.Pte.pfn e in
+          if owns_frame t child then begin
+            free_subtree 3 child;
+            ignore (undeclare_ptp t ~pfn:child);
+            free_ptp child
+          end
+        end
+      done;
+      Array.iter (fun copy -> Hw.Phys_mem.free t.mem copy) info.copies;
+      Hashtbl.remove t.roots root;
+      (match undeclare_ptp t ~pfn:root with Ok () | Error _ -> ());
+      Ok ()
+
+let kernel_root t = t.kernel_root
+let idt t = t.idt
+let pervcpu t = t.pervcpu
+let ksm_call_count t = t.ksm_calls
+let is_declared_ptp t pfn = match (desc t pfn).state with Guest_ptp _ -> true | Guest_data | Ksm_private -> false
+let root_copies t root = Option.map (fun i -> i.copies) (Hashtbl.find_opt t.roots root)

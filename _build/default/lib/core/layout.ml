@@ -1,0 +1,43 @@
+(* Virtual-address layout of a CKI container address space.
+
+   User space occupies the low half.  The guest kernel's direct map of
+   its delegated hPA segments, the guest kernel image, the KSM region
+   and the per-vCPU area live in the high half; the KSM and per-vCPU
+   regions are tagged with [Hw.Pks.pkey_ksm], declared page-table pages
+   with [Hw.Pks.pkey_ptp]. *)
+
+let user_top = 0x7fff_ffff_0000
+
+(* Guest-kernel direct map of delegated physical memory:
+   va = direct_map_base + pa. *)
+let direct_map_base = 0x8000_0000_0000
+
+(* Guest kernel image (code/rodata), mapped kernel-executable at boot
+   and frozen (no new kernel-executable mappings afterwards). *)
+let kernel_image_base = 0x9000_0000_0000
+
+(* KSM code/data incl. the IDT and interrupt-gate code. *)
+let ksm_base = 0xa000_0000_0000
+
+(* The per-vCPU area: *constant* virtual address — every per-vCPU
+   page-table copy maps a different physical area here, so gate code
+   can find its secure stack without trusting kernel_gs (Fig 8c). *)
+let pervcpu_base = 0xb000_0000_0000
+
+(* Size of each per-vCPU area (secure stack + vCPU context), pages. *)
+let pervcpu_pages = 4
+
+let direct_va_of_pa pa = direct_map_base + pa
+let pa_of_direct_va va = va - direct_map_base
+let in_user va = va < user_top
+let in_direct_map va = va >= direct_map_base && va < kernel_image_base
+let in_ksm va = va >= ksm_base && va < pervcpu_base
+let in_pervcpu va = va >= pervcpu_base && va < pervcpu_base + (pervcpu_pages * Hw.Addr.page_size)
+
+(* Top-level (L4) table indices of the fixed regions. *)
+let l4_index va = Hw.Addr.index_at_level ~lvl:4 va
+let l4_user_max = l4_index (user_top - 1)
+let l4_direct = l4_index direct_map_base
+let l4_kernel_image = l4_index kernel_image_base
+let l4_ksm = l4_index ksm_base
+let l4_pervcpu = l4_index pervcpu_base

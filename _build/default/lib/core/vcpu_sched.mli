@@ -1,0 +1,37 @@
+(** Host-side vCPU scheduling with timer preemption.
+
+    Preemption relies on the interrupt-abuse defences of Section 4.4:
+    the timer always reaches the host through the container's interrupt
+    gate — the guest cannot disable interrupts, re-point the IDT, or
+    forge vectors — so a deadlooping guest kernel is preempted on
+    schedule and DoS is contained to its own timeslice (property S9). *)
+
+type vcpu_entry = {
+  container : Container.t;
+  vcpu : int;
+  mutable work : (unit -> unit) Queue.t;
+  mutable executed : int;
+  mutable slices : int;
+  mutable spinning : bool;
+}
+
+type t
+
+val create : ?slice_ns:float -> Host.t -> t
+(** Default timeslice 1 ms. *)
+
+val add_vcpu : t -> Container.t -> vcpu:int -> vcpu_entry
+val submit_work : vcpu_entry -> (unit -> unit) -> unit
+
+val mark_spinning : vcpu_entry -> unit
+(** Model a compromised guest that deadloops, burning whole slices. *)
+
+val run_slice : t -> vcpu_entry -> unit
+(** One timeslice: virtual-interrupt injection, guest work (or spin),
+    timer preemption through the interrupt gate. *)
+
+val run : t -> slices:int -> unit
+(** Round-robin for a total number of timeslices. *)
+
+val preemptions : t -> int
+val entries : t -> vcpu_entry list

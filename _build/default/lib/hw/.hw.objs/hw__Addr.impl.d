@@ -1,0 +1,1 @@
+lib/hw/addr.pp.ml: Format Printf

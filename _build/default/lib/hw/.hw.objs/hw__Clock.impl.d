@@ -1,0 +1,1 @@
+lib/hw/clock.pp.ml: Format Hashtbl List Option String

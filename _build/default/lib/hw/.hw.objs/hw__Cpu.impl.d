@@ -1,0 +1,1 @@
+lib/hw/cpu.pp.ml: Addr Clock Cost Format Page_table Pks Ppx_deriving_runtime Priv Pte Tlb

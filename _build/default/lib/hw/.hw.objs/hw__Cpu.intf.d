@@ -1,0 +1,1 @@
+lib/hw/cpu.pp.mli: Addr Clock Format Page_table Pks Priv Pte Tlb

@@ -1,0 +1,1 @@
+lib/hw/ept.pp.ml: Addr Cost Page_table Phys_mem Pte

@@ -1,0 +1,1 @@
+lib/hw/ept.pp.mli: Addr Phys_mem

@@ -1,0 +1,1 @@
+lib/hw/idt.pp.ml: Array Cpu Printf

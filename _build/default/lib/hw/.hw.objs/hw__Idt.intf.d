@@ -1,0 +1,1 @@
+lib/hw/idt.pp.mli: Cpu

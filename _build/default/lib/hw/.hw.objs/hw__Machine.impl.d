@@ -1,0 +1,1 @@
+lib/hw/machine.pp.ml: Array Clock Cpu Idt List Phys_mem

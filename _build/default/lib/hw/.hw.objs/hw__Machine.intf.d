@@ -1,0 +1,1 @@
+lib/hw/machine.pp.mli: Clock Cpu Phys_mem

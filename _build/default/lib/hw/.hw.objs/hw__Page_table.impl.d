@@ -1,0 +1,1 @@
+lib/hw/page_table.pp.ml: Addr List Phys_mem Pte

@@ -1,0 +1,1 @@
+lib/hw/page_table.pp.mli: Addr Phys_mem Pte

@@ -1,0 +1,1 @@
+lib/hw/phys_mem.pp.ml: Addr Array Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/hw/phys_mem.pp.mli: Addr Format

@@ -1,0 +1,1 @@
+lib/hw/pks.pp.ml: Format List Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/hw/priv.pp.ml: Addr Pks Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/hw/priv.pp.mli: Addr Format Pks

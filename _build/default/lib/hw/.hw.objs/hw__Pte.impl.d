@@ -1,0 +1,1 @@
+lib/hw/pte.pp.ml: Format Int64

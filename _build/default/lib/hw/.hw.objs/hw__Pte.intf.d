@@ -1,0 +1,1 @@
+lib/hw/pte.pp.mli: Addr Format

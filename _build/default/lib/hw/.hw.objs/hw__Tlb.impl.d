@@ -1,0 +1,1 @@
+lib/hw/tlb.pp.ml: Addr Hashtbl List Pte Queue

@@ -1,0 +1,1 @@
+lib/hw/tlb.pp.mli: Addr Pte

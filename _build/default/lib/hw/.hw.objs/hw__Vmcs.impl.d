@@ -1,0 +1,1 @@
+lib/hw/vmcs.pp.ml: Addr Clock Cost Cpu List Option Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/hw/vmcs.pp.mli: Addr Clock Cpu Format

@@ -1,0 +1,55 @@
+(* Simulated-time accounting.
+
+   Every latency the simulator charges flows through a [Clock.t]; event
+   counters record *why* time was spent so tests can make structural
+   assertions ("a PVM page fault performs 6 context switches") and the
+   benches can print breakdowns. *)
+
+type t = {
+  mutable now_ns : float;
+  counters : (string, int) Hashtbl.t;
+  spent : (string, float) Hashtbl.t;
+}
+
+let create () = { now_ns = 0.0; counters = Hashtbl.create 64; spent = Hashtbl.create 64 }
+
+let now t = t.now_ns
+
+(* Charge [ns] of simulated time attributed to [event]. *)
+let charge t event ns =
+  t.now_ns <- t.now_ns +. ns;
+  Hashtbl.replace t.counters event (1 + Option.value ~default:0 (Hashtbl.find_opt t.counters event));
+  Hashtbl.replace t.spent event (ns +. Option.value ~default:0.0 (Hashtbl.find_opt t.spent event))
+
+(* Record an event occurrence without advancing time. *)
+let count t event =
+  Hashtbl.replace t.counters event (1 + Option.value ~default:0 (Hashtbl.find_opt t.counters event))
+
+(* Advance time without attributing it to a named event (pure compute). *)
+let advance t ns = t.now_ns <- t.now_ns +. ns
+
+let occurrences t event = Option.value ~default:0 (Hashtbl.find_opt t.counters event)
+let spent_on t event = Option.value ~default:0.0 (Hashtbl.find_opt t.spent event)
+
+let reset t =
+  t.now_ns <- 0.0;
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.spent
+
+(* Run [f] and return its result together with the simulated time it
+   consumed. *)
+let timed t f =
+  let t0 = t.now_ns in
+  let r = f () in
+  (r, t.now_ns -. t0)
+
+let events t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>clock: %.0f ns@," t.now_ns;
+  List.iter
+    (fun (e, n) -> Format.fprintf fmt "  %-32s %8d  %12.0f ns@," e n (spent_on t e))
+    (events t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,27 @@
+(** Extended page tables (second-stage gPA -> hPA translation) for the
+    HVM baseline.
+
+    A TLB miss under EPT costs a two-dimensional walk (24 references
+    instead of 4), and a missing gPA mapping raises an EPT violation —
+    a VM exit. *)
+
+type t
+
+exception Ept_violation of { gpa : Addr.pa }
+
+val create : Phys_mem.t -> huge:bool -> t
+(** [huge] backs gPAs with 2 MiB EPT mappings (amortizing violations
+    512x and shortening the 2-D walk to 15 refs). *)
+
+val map : t -> gfn:int -> hfn:Addr.pfn -> unit
+val map_huge : t -> gfn:int -> hfn:Addr.pfn -> unit
+
+val translate : t -> Addr.pa -> Addr.pa
+(** @raise Ept_violation when the gPA has no second-stage mapping. *)
+
+val is_mapped : t -> Addr.pa -> bool
+val violations : t -> int
+val huge_enabled : t -> bool
+
+val walk_refs : t -> int
+(** Memory references per TLB-miss walk under this configuration. *)

@@ -1,0 +1,65 @@
+(* Interrupt descriptor table with the IST feature and the paper's
+   PKS-switching extension.
+
+   Each entry may request:
+     - an IST stack (forces the CPU onto a known-good interrupt stack
+       regardless of the interrupted RSP — Section 4.4's defence
+       against interrupt-stack manipulation), and
+     - pks_switch (extension E4): on *hardware* interrupt delivery the
+       CPU saves PKRS and zeroes it before entering the gate, so the
+       gate itself contains no wrpkrs instruction to abuse.  Software
+       `int` instructions leave PKRS unchanged. *)
+
+type entry = {
+  vector : int;
+  handler : string;  (** symbolic handler name (gate code lives in KSM memory) *)
+  ist : int option;  (** interrupt-stack-table slot, if any *)
+  pks_switch : bool;  (** extension E4 attribute *)
+  user_invocable : bool;  (** DPL=3: may be raised from ring 3 (e.g. int3) *)
+}
+
+type t = {
+  entries : entry option array;
+  mutable base_locked : bool;  (** lidt blocked after boot: IDTR is pinned *)
+}
+
+let vectors = 256
+
+let create () = { entries = Array.make vectors None; base_locked = false }
+
+let set t (e : entry) =
+  if e.vector < 0 || e.vector >= vectors then invalid_arg "Idt.set: bad vector";
+  if t.base_locked then invalid_arg "Idt.set: IDT locked";
+  t.entries.(e.vector) <- Some e
+
+let get t vector =
+  if vector < 0 || vector >= vectors then invalid_arg "Idt.get: bad vector";
+  t.entries.(vector)
+
+let lock t = t.base_locked <- true
+let is_locked t = t.base_locked
+
+type delivery = Hardware | Software
+
+(* Deliver vector [v] to [cpu].  Returns the entry vectored through.
+   Hardware delivery applies the PKS-switch extension; software `int`
+   does not (so a guest cannot forge a PKRS-zeroing entry). *)
+let deliver t cpu ~kind v =
+  match get t v with
+  | None -> invalid_arg (Printf.sprintf "Idt.deliver: vector %d not installed" v)
+  | Some e ->
+      (match kind with
+      | Hardware -> Cpu.hw_interrupt_entry cpu ~pks_switch:e.pks_switch
+      | Software ->
+          if (not e.user_invocable) && cpu.Cpu.mode = Cpu.User then
+            raise (Cpu.Fault (Cpu.Priv_page_violation 0))
+          else cpu.Cpu.mode <- Cpu.Kernel);
+      e
+
+(* Standard vectors used by the simulation. *)
+let vec_page_fault = 14
+let vec_gp_fault = 13
+let vec_timer = 32
+let vec_virtio_net = 33
+let vec_virtio_blk = 34
+let vec_ipi = 35

@@ -1,0 +1,155 @@
+(* Simulated physical memory.
+
+   Frames carry ownership + kind metadata (which the KSM and the virt
+   backends consult for their security checks) and, for page-table
+   frames, real 512-entry arrays of 64-bit PTEs, so the page-table
+   walker operates on genuine in-"memory" structures. *)
+
+type owner =
+  | Free
+  | Host  (** host kernel / hypervisor *)
+  | Container of int  (** delegated to container [id] *)
+  | Ksm of int  (** KSM code/data of container [id] *)
+[@@deriving show { with_path = false }, eq]
+
+type kind =
+  | Unused
+  | Data
+  | Page_table of int  (** page-table page at level 1..4 *)
+  | Ept_table of int  (** EPT table page at level 1..4 *)
+  | Ksm_code
+  | Ksm_data
+  | Kernel_code
+  | Device
+[@@deriving show { with_path = false }, eq]
+
+type frame = {
+  mutable owner : owner;
+  mutable kind : kind;
+  mutable table : int64 array option;  (** entries, for *_table frames *)
+  mutable refcount : int;  (** times mapped as a PTP / general pin count *)
+}
+
+type t = {
+  frames : frame array;
+  total_frames : int;
+  mutable next_free : int;  (** search hint for the simple allocator *)
+}
+
+exception Out_of_memory
+
+let create ~frames:n =
+  if n <= 0 then invalid_arg "Phys_mem.create";
+  {
+    frames = Array.init n (fun _ -> { owner = Free; kind = Unused; table = None; refcount = 0 });
+    total_frames = n;
+    next_free = 0;
+  }
+
+let total_frames t = t.total_frames
+
+let frame t pfn =
+  if pfn < 0 || pfn >= t.total_frames then invalid_arg "Phys_mem.frame: pfn out of range";
+  t.frames.(pfn)
+
+let owner t pfn = (frame t pfn).owner
+let kind t pfn = (frame t pfn).kind
+
+let is_free t pfn = (frame t pfn).owner = Free
+
+(* Allocate one frame anywhere. *)
+let alloc t ~owner ~kind =
+  let n = t.total_frames in
+  let rec find i tried =
+    if tried >= n then raise Out_of_memory
+    else
+      let pfn = (t.next_free + i) mod n in
+      if t.frames.(pfn).owner = Free then pfn else find (i + 1) (tried + 1)
+  in
+  let pfn = find 0 0 in
+  t.next_free <- (pfn + 1) mod n;
+  let f = t.frames.(pfn) in
+  f.owner <- owner;
+  f.kind <- kind;
+  f.table <- None;
+  f.refcount <- 0;
+  pfn
+
+(* Allocate [count] physically-contiguous frames; first-fit.  This is
+   the delegation primitive CKI uses for hPA segments, and the source
+   of the paper's acknowledged fragmentation limitation. *)
+let alloc_contiguous t ~owner ~kind ~count =
+  if count <= 0 then invalid_arg "Phys_mem.alloc_contiguous";
+  let n = t.total_frames in
+  let rec scan start =
+    if start + count > n then raise Out_of_memory
+    else
+      let rec run i = if i >= count then count else if t.frames.(start + i).owner = Free then run (i + 1) else i in
+      let ok = run 0 in
+      if ok = count then start else scan (start + ok + 1)
+  in
+  let base = scan 0 in
+  for i = base to base + count - 1 do
+    let f = t.frames.(i) in
+    f.owner <- owner;
+    f.kind <- kind;
+    f.table <- None;
+    f.refcount <- 0
+  done;
+  base
+
+let free t pfn =
+  let f = frame t pfn in
+  if f.owner = Free then invalid_arg "Phys_mem.free: double free";
+  f.owner <- Free;
+  f.kind <- Unused;
+  f.table <- None;
+  f.refcount <- 0
+
+let free_range t ~base ~count =
+  for pfn = base to base + count - 1 do
+    free t pfn
+  done
+
+let set_kind t pfn kind = (frame t pfn).kind <- kind
+let set_owner t pfn owner = (frame t pfn).owner <- owner
+
+let incr_ref t pfn =
+  let f = frame t pfn in
+  f.refcount <- f.refcount + 1
+
+let decr_ref t pfn =
+  let f = frame t pfn in
+  if f.refcount <= 0 then invalid_arg "Phys_mem.decr_ref: refcount underflow";
+  f.refcount <- f.refcount - 1
+
+let refcount t pfn = (frame t pfn).refcount
+
+(* Table-frame accessors: the 512-entry PTE array is allocated lazily
+   the first time a frame is used as a (EPT/)page-table page. *)
+let table_entries t pfn =
+  let f = frame t pfn in
+  match f.table with
+  | Some a -> a
+  | None ->
+      let a = Array.make Addr.entries_per_table 0L in
+      f.table <- Some a;
+      a
+
+let read_entry t ~pfn ~index =
+  if index < 0 || index >= Addr.entries_per_table then invalid_arg "Phys_mem.read_entry";
+  (table_entries t pfn).(index)
+
+let write_entry t ~pfn ~index value =
+  if index < 0 || index >= Addr.entries_per_table then invalid_arg "Phys_mem.write_entry";
+  (table_entries t pfn).(index) <- value
+
+let clear_table t pfn = Array.fill (table_entries t pfn) 0 Addr.entries_per_table 0L
+
+(* Statistics used by tests and the host memory accountant. *)
+let count_owned t owner_pred =
+  let c = ref 0 in
+  Array.iter (fun f -> if owner_pred f.owner then incr c) t.frames;
+  !c
+
+let free_frames t = count_owned t (fun o -> o = Free)

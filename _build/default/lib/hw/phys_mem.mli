@@ -1,0 +1,80 @@
+(** Simulated physical memory.
+
+    Frames carry ownership + kind metadata (consulted by the KSM and
+    the virtualization backends for their security checks) and, for
+    page-table frames, real 512-entry arrays of 64-bit PTEs, so the
+    page-table walker operates on genuine in-memory structures. *)
+
+type owner =
+  | Free
+  | Host  (** host kernel / hypervisor *)
+  | Container of int  (** delegated to container [id] *)
+  | Ksm of int  (** KSM code/data of container [id] *)
+
+val pp_owner : Format.formatter -> owner -> unit
+val show_owner : owner -> string
+val equal_owner : owner -> owner -> bool
+
+type kind =
+  | Unused
+  | Data
+  | Page_table of int  (** page-table page at level 1..4 *)
+  | Ept_table of int  (** EPT table page at level 1..4 *)
+  | Ksm_code
+  | Ksm_data
+  | Kernel_code
+  | Device
+
+val pp_kind : Format.formatter -> kind -> unit
+val show_kind : kind -> string
+val equal_kind : kind -> kind -> bool
+
+type frame = {
+  mutable owner : owner;
+  mutable kind : kind;
+  mutable table : int64 array option;
+  mutable refcount : int;
+}
+
+type t
+
+exception Out_of_memory
+
+val create : frames:int -> t
+val total_frames : t -> int
+val frame : t -> Addr.pfn -> frame
+val owner : t -> Addr.pfn -> owner
+val kind : t -> Addr.pfn -> kind
+val is_free : t -> Addr.pfn -> bool
+
+val alloc : t -> owner:owner -> kind:kind -> Addr.pfn
+(** Allocate one frame anywhere. @raise Out_of_memory when full. *)
+
+val alloc_contiguous : t -> owner:owner -> kind:kind -> count:int -> Addr.pfn
+(** First-fit allocation of [count] physically-contiguous frames — the
+    hPA-segment delegation primitive, and the source of CKI's
+    acknowledged fragmentation limitation.
+    @raise Out_of_memory when no sufficient run exists. *)
+
+val free : t -> Addr.pfn -> unit
+(** @raise Invalid_argument on double free. *)
+
+val free_range : t -> base:Addr.pfn -> count:int -> unit
+val set_kind : t -> Addr.pfn -> kind -> unit
+val set_owner : t -> Addr.pfn -> owner -> unit
+val incr_ref : t -> Addr.pfn -> unit
+val decr_ref : t -> Addr.pfn -> unit
+val refcount : t -> Addr.pfn -> int
+
+(** {1 Table-frame accessors}
+
+    The 512-entry PTE array is allocated lazily the first time a frame
+    is used as a page-table (or EPT) page. *)
+
+val table_entries : t -> Addr.pfn -> int64 array
+val read_entry : t -> pfn:Addr.pfn -> index:int -> int64
+val write_entry : t -> pfn:Addr.pfn -> index:int -> int64 -> unit
+val clear_table : t -> Addr.pfn -> unit
+
+val count_owned : t -> (owner -> bool) -> int
+val free_frames : t -> int

@@ -1,0 +1,1 @@
+lib/kernel/buddy.pp.ml: Array Hashtbl Hw List

@@ -1,0 +1,1 @@
+lib/kernel/kernel.pp.ml: Bytes Hashtbl Hw List Mm Net Pipe Platform Printf Queue Sched Syscall Task Tmpfs Virtio Vma

@@ -1,0 +1,1 @@
+lib/kernel/kernel.pp.mli: Bytes Hw Net Platform Syscall Task Tmpfs Virtio

@@ -1,0 +1,1 @@
+lib/kernel/mm.pp.ml: Hashtbl Hw Platform Vma

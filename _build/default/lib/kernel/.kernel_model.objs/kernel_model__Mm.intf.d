@@ -1,0 +1,1 @@
+lib/kernel/mm.pp.mli: Hw Platform Vma

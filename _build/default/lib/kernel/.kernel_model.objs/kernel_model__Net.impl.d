@@ -1,0 +1,1 @@
+lib/kernel/net.pp.ml: Bytes Hashtbl Hw Queue

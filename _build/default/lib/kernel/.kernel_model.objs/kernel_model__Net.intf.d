@@ -1,0 +1,1 @@
+lib/kernel/net.pp.mli: Bytes Hw Queue

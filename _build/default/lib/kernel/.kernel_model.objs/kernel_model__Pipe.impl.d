@@ -1,0 +1,1 @@
+lib/kernel/pipe.pp.ml: Buffer Bytes Hw String

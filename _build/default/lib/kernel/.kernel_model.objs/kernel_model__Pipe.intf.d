@@ -1,0 +1,1 @@
+lib/kernel/pipe.pp.mli: Bytes Hw

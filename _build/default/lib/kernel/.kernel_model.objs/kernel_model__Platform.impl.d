@@ -1,0 +1,1 @@
+lib/kernel/platform.pp.ml: Hashtbl Hw Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/kernel/platform.pp.mli: Format Hw

@@ -1,0 +1,1 @@
+lib/kernel/sched.pp.ml: Hw Mm Platform Queue

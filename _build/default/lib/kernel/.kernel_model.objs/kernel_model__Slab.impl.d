@@ -1,0 +1,1 @@
+lib/kernel/slab.pp.ml: Buddy Fun Hashtbl Hw List

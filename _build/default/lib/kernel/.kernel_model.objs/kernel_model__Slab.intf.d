@@ -1,0 +1,1 @@
+lib/kernel/slab.pp.mli: Buddy

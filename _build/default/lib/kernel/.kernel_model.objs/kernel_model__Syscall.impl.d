@@ -1,0 +1,1 @@
+lib/kernel/syscall.pp.ml: Bytes Hw Vma

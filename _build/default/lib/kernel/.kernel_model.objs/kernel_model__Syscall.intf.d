@@ -1,0 +1,1 @@
+lib/kernel/syscall.pp.mli: Bytes Hw Vma

@@ -1,0 +1,1 @@
+lib/kernel/task.pp.ml: Hashtbl Mm Pipe Ppx_deriving_runtime Tmpfs

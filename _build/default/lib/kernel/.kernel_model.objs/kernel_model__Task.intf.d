@@ -1,0 +1,1 @@
+lib/kernel/task.pp.mli: Format Hashtbl Mm Pipe Tmpfs

@@ -1,0 +1,1 @@
+lib/kernel/tmpfs.pp.ml: Bytes Hashtbl Hw List String

@@ -1,0 +1,1 @@
+lib/kernel/tmpfs.pp.mli: Bytes Hw

@@ -1,0 +1,1 @@
+lib/kernel/virtio.pp.ml: Array Hw

@@ -1,0 +1,1 @@
+lib/kernel/vma.pp.ml: Hw Int Map Ppx_deriving_runtime Seq

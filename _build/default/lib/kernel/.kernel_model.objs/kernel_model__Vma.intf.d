@@ -1,0 +1,1 @@
+lib/kernel/vma.pp.mli: Format Hw

@@ -1,0 +1,117 @@
+(* Binary-buddy allocator over a contiguous physical-frame range.
+
+   This is the guest kernel's memory manager in CKI: the host delegates
+   contiguous hPA segments and the guest buddy allocator hands frames
+   straight to the page-fault handler — no gPA indirection. *)
+
+let max_order = 11 (* 2^11 frames = 8 MiB blocks *)
+
+type t = {
+  base : Hw.Addr.pfn;
+  frames : int;
+  free_lists : Hw.Addr.pfn list array;  (** index = order *)
+  order_of : (Hw.Addr.pfn, int) Hashtbl.t;  (** allocated block -> order *)
+  mutable free_count : int;
+}
+
+exception Out_of_memory
+
+let create ~base ~frames =
+  if frames <= 0 then invalid_arg "Buddy.create";
+  let t =
+    {
+      base;
+      frames;
+      free_lists = Array.make (max_order + 1) [];
+      order_of = Hashtbl.create 256;
+      free_count = frames;
+    }
+  in
+  (* Seed free lists greedily with the largest aligned blocks. *)
+  let rec seed pfn remaining =
+    if remaining > 0 then begin
+      let rel = pfn - base in
+      let order =
+        let rec fit o =
+          if o = 0 then 0
+          else if 1 lsl o <= remaining && rel land ((1 lsl o) - 1) = 0 then o
+          else fit (o - 1)
+        in
+        fit max_order
+      in
+      t.free_lists.(order) <- pfn :: t.free_lists.(order);
+      seed (pfn + (1 lsl order)) (remaining - (1 lsl order))
+    end
+  in
+  seed base frames;
+  t
+
+let total_frames t = t.frames
+let free_frames t = t.free_count
+
+let buddy_of t pfn order = ((pfn - t.base) lxor (1 lsl order)) + t.base
+
+(* Allocate a block of 2^order frames; returns its first pfn. *)
+let alloc_order t order =
+  if order < 0 || order > max_order then invalid_arg "Buddy.alloc_order";
+  let rec take o =
+    if o > max_order then raise Out_of_memory
+    else
+      match t.free_lists.(o) with
+      | [] -> take (o + 1)
+      | pfn :: rest ->
+          t.free_lists.(o) <- rest;
+          (* Split back down to the requested order. *)
+          let rec split cur =
+            if cur > order then begin
+              let half = cur - 1 in
+              let upper = pfn + (1 lsl half) in
+              t.free_lists.(half) <- upper :: t.free_lists.(half);
+              split half
+            end
+          in
+          split o;
+          pfn
+  in
+  let pfn = take order in
+  Hashtbl.replace t.order_of pfn order;
+  t.free_count <- t.free_count - (1 lsl order);
+  pfn
+
+let alloc t = alloc_order t 0
+
+(* Allocate a 2 MiB-aligned 512-frame block for a huge-page mapping. *)
+let alloc_huge t = alloc_order t 9
+
+let rec coalesce t pfn order =
+  if order >= max_order then t.free_lists.(order) <- pfn :: t.free_lists.(order)
+  else
+    let b = buddy_of t pfn order in
+    if b >= t.base && b < t.base + t.frames && List.mem b t.free_lists.(order) then begin
+      t.free_lists.(order) <- List.filter (fun p -> p <> b) t.free_lists.(order);
+      coalesce t (min pfn b) (order + 1)
+    end
+    else t.free_lists.(order) <- pfn :: t.free_lists.(order)
+
+let free t pfn =
+  match Hashtbl.find_opt t.order_of pfn with
+  | None -> invalid_arg "Buddy.free: not an allocated block head"
+  | Some order ->
+      Hashtbl.remove t.order_of pfn;
+      t.free_count <- t.free_count + (1 lsl order);
+      coalesce t pfn order
+
+(* Sanity invariant for tests: free-list accounting matches free_count
+   and every free block is inside the range. *)
+let check_invariants t =
+  let counted = ref 0 in
+  Array.iteri
+    (fun order lst ->
+      List.iter
+        (fun pfn ->
+          if pfn < t.base || pfn + (1 lsl order) > t.base + t.frames then
+            failwith "Buddy: free block out of range";
+          counted := !counted + (1 lsl order))
+        lst)
+    t.free_lists;
+  !counted = t.free_count

@@ -1,0 +1,32 @@
+(** Binary-buddy allocator over a contiguous physical-frame range.
+
+    This is the CKI guest kernel's memory manager: the host delegates
+    contiguous hPA segments and the buddy hands frames straight to the
+    page-fault handler — no gPA indirection (Section 4.3). *)
+
+val max_order : int
+
+type t
+
+exception Out_of_memory
+
+val create : base:Hw.Addr.pfn -> frames:int -> t
+val total_frames : t -> int
+val free_frames : t -> int
+
+val alloc_order : t -> int -> Hw.Addr.pfn
+(** Allocate 2^order contiguous frames. @raise Out_of_memory. *)
+
+val alloc : t -> Hw.Addr.pfn
+(** One frame. *)
+
+val alloc_huge : t -> Hw.Addr.pfn
+(** A 2 MiB-aligned 512-frame block. *)
+
+val free : t -> Hw.Addr.pfn -> unit
+(** Free a previously allocated block (by its head frame), coalescing
+    with free buddies. @raise Invalid_argument on double free. *)
+
+val check_invariants : t -> bool
+(** Free-list accounting matches the free counter and every free block
+    lies inside the range — used by the property tests. *)

@@ -1,0 +1,306 @@
+(* The model kernel: tasks + scheduler + VFS + pipes + sockets + VirtIO
+   frontends, all running over a [Platform.t].
+
+   Instantiated once per container guest kernel (and once natively for
+   RunC).  Syscall dispatch charges the platform's syscall round trip —
+   native for RunC/HVM/CKI, redirected for PVM — then performs real
+   work against the in-memory structures. *)
+
+type t = {
+  platform : Platform.t;
+  fs : Tmpfs.t;
+  sched : Sched.t;
+  tasks : (int, Task.t) Hashtbl.t;
+  sockets : (int, Net.endpoint) Hashtbl.t;
+  wire : Net.t;
+  net_dev : Virtio.t;
+  blk_dev : Virtio.t;
+  mutable next_pid : int;
+  mutable syscall_count : int;
+  mutable irq_count : int;
+  mutable net_kick_pending : bool;
+      (** virtio event suppression: sends posted since the last kick
+          ride the already-rung doorbell (pipelining batches kicks) *)
+}
+
+let create platform =
+  let clock = platform.Platform.clock in
+  {
+    platform;
+    fs = Tmpfs.create clock;
+    sched = Sched.create platform;
+    tasks = Hashtbl.create 16;
+    sockets = Hashtbl.create 16;
+    wire = Net.create clock;
+    net_dev = Virtio.create ~name:"virtio-net" clock;
+    blk_dev = Virtio.create ~name:"virtio-blk" clock;
+    next_pid = 1;
+    syscall_count = 0;
+    irq_count = 0;
+    net_kick_pending = false;
+  }
+
+let platform t = t.platform
+let clock t = t.platform.Platform.clock
+let fs t = t.fs
+let syscall_count t = t.syscall_count
+
+let spawn t =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let mm = Mm.create t.platform in
+  let task = Task.create ~pid ~parent:0 mm in
+  Hashtbl.replace t.tasks pid task;
+  Sched.enqueue t.sched pid;
+  task
+
+let task t pid = Hashtbl.find_opt t.tasks pid
+
+(* Touch user memory (demand paging) outside any syscall. *)
+let touch t (task : Task.t) va ~write =
+  ignore t;
+  Mm.touch task.Task.mm va ~write
+
+let touch_range t (task : Task.t) ~start ~pages ~write =
+  ignore t;
+  Mm.touch_range task.Task.mm ~start ~pages ~write
+
+(* Context-switch between two tasks of this kernel. *)
+let context_switch t ~from_pid ~to_pid =
+  ignore from_pid;
+  match Hashtbl.find_opt t.tasks to_pid with
+  | None -> invalid_arg "Kernel.context_switch: unknown pid"
+  | Some target -> Sched.switch_to t.sched to_pid target.Task.mm
+
+(* ------------------------------------------------------------------ *)
+(* Syscall implementation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let file_obj (task : Task.t) fd =
+  match Task.fd task fd with
+  | Some (Task.File f) -> Some f
+  | Some (Task.Pipe_read _ | Task.Pipe_write _ | Task.Socket _) | None -> None
+
+let do_read t task fd n : Syscall.result =
+  match Task.fd task fd with
+  | Some (Task.File f) ->
+      let data = Tmpfs.read t.fs f.Task.inode ~off:f.Task.pos ~n in
+      f.Task.pos <- f.Task.pos + Bytes.length data;
+      Syscall.Rbytes data
+  | Some (Task.Pipe_read p) -> (
+      match Pipe.read p ~n with
+      | Ok data -> Syscall.Rbytes data
+      | Error `Would_block -> Syscall.Rerr "EAGAIN")
+  | Some (Task.Socket sid) -> (
+      match Hashtbl.find_opt t.sockets sid with
+      | None -> Syscall.Rerr "EBADF"
+      | Some ep -> (
+          match Net.recv ep with
+          | Ok data -> Syscall.Rbytes data
+          | Error `Would_block -> Syscall.Rerr "EAGAIN"))
+  | Some (Task.Pipe_write _) -> Syscall.Rerr "EBADF"
+  | None -> Syscall.Rerr "EBADF"
+
+let do_write t task fd data : Syscall.result =
+  match Task.fd task fd with
+  | Some (Task.File f) ->
+      let n = Tmpfs.write t.fs f.Task.inode ~off:f.Task.pos data in
+      f.Task.pos <- f.Task.pos + n;
+      Syscall.Rint n
+  | Some (Task.Pipe_write p) -> (
+      match Pipe.write p data with
+      | Ok n -> Syscall.Rint n
+      | Error `Would_block -> Syscall.Rerr "EAGAIN"
+      | Error `Epipe -> Syscall.Rerr "EPIPE")
+  | Some (Task.Socket sid) -> (
+      match Hashtbl.find_opt t.sockets sid with
+      | None -> Syscall.Rerr "EBADF"
+      | Some ep ->
+          (* TX goes through the virtio-net frontend (post + doorbell +
+             backend service) on virtualized platforms; OS-level
+             containers hit the host NIC natively. *)
+          if t.platform.Platform.virtualized_io then begin
+            Virtio.post t.net_dev ~len:(Bytes.length data) ~write:true;
+            if not t.net_kick_pending then begin
+              Virtio.kick t.net_dev ~doorbell:(fun () ->
+                  t.platform.Platform.hypercall Platform.Net_tx);
+              t.net_kick_pending <- true
+            end
+          end;
+          (match Net.send t.wire ep data with
+          | Ok n -> Syscall.Rint n
+          | Error `Not_connected -> Syscall.Rerr "ENOTCONN"))
+  | Some (Task.Pipe_read _) -> Syscall.Rerr "EBADF"
+  | None -> Syscall.Rerr "EBADF"
+
+let do_fork t (task : Task.t) =
+  let child_mm = Mm.fork task.Task.mm in
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let child = Task.create ~pid ~parent:task.Task.pid child_mm in
+  (* Share the fd table contents (re-register same objects). *)
+  Hashtbl.iter (fun fd obj -> Hashtbl.replace child.Task.fds fd obj) task.Task.fds;
+  child.Task.next_fd <- task.Task.next_fd;
+  Hashtbl.replace t.tasks pid child;
+  Sched.enqueue t.sched pid;
+  pid
+
+let do_exit t (task : Task.t) code =
+  task.Task.state <- Task.Zombie;
+  task.Task.exit_code <- Some code;
+  Mm.destroy task.Task.mm;
+  Hashtbl.remove t.tasks task.Task.pid
+
+(* Execute one syscall on behalf of [task].  Charges the platform's
+   syscall round trip + the call's own work; returns the result. *)
+let syscall t (task : Task.t) (sc : Syscall.t) : Syscall.result =
+  t.syscall_count <- t.syscall_count + 1;
+  t.platform.Platform.syscall_round_trip ();
+  Hw.Clock.charge (clock t) ("sys_" ^ Syscall.name sc) (Syscall.base_work sc);
+  match sc with
+  | Syscall.Getpid -> Syscall.Rint task.Task.pid
+  | Syscall.Read { fd; n } -> do_read t task fd n
+  | Syscall.Write { fd; data } -> do_write t task fd data
+  | Syscall.Open { path; create } -> (
+      let inode =
+        if create then Some (Tmpfs.open_or_create t.fs path) else Tmpfs.resolve_opt t.fs path
+      in
+      match inode with
+      | None -> Syscall.Rerr "ENOENT"
+      | Some inode -> Syscall.Rint (Task.install_fd task (Task.File { inode; pos = 0 })))
+  | Syscall.Close fd ->
+      Task.close_fd task fd;
+      Syscall.Runit
+  | Syscall.Stat path -> (
+      match Tmpfs.resolve_opt t.fs path with
+      | None -> Syscall.Rerr "ENOENT"
+      | Some i -> Syscall.Rstat { size = Tmpfs.size i; ino = Tmpfs.ino i; is_dir = Tmpfs.is_dir i })
+  | Syscall.Fstat fd -> (
+      match file_obj task fd with
+      | None -> Syscall.Rerr "EBADF"
+      | Some f ->
+          Syscall.Rstat
+            {
+              size = Tmpfs.size f.Task.inode;
+              ino = Tmpfs.ino f.Task.inode;
+              is_dir = Tmpfs.is_dir f.Task.inode;
+            })
+  | Syscall.Lseek { fd; pos } -> (
+      match file_obj task fd with
+      | None -> Syscall.Rerr "EBADF"
+      | Some f ->
+          f.Task.pos <- pos;
+          Syscall.Rint pos)
+  | Syscall.Fsync fd -> (
+      (* tmpfs fsync is a no-op beyond its base work, but a disk file
+         would go through virtio-blk. *)
+      match file_obj task fd with None -> Syscall.Rerr "EBADF" | Some _ -> Syscall.Runit)
+  | Syscall.Unlink path -> (
+      match Tmpfs.unlink t.fs path with
+      | () -> Syscall.Runit
+      | exception Tmpfs.Not_found_path _ -> Syscall.Rerr "ENOENT")
+  | Syscall.Mkdir path -> (
+      match Tmpfs.mkdir t.fs path with
+      | _ -> Syscall.Runit
+      | exception Tmpfs.Exists _ -> Syscall.Rerr "EEXIST")
+  | Syscall.Mmap { pages; prot } ->
+      Syscall.Rint (Mm.mmap task.Task.mm ~pages ~prot ~backing:Vma.Anon)
+  | Syscall.Munmap { addr; pages } ->
+      Mm.munmap task.Task.mm ~start:addr ~pages;
+      Syscall.Runit
+  | Syscall.Mprotect { addr; pages; prot } ->
+      Mm.mprotect task.Task.mm ~start:addr ~pages ~prot;
+      Syscall.Runit
+  | Syscall.Brk { delta_pages } -> Syscall.Rint (Mm.brk task.Task.mm ~delta_pages)
+  | Syscall.Fork -> Syscall.Rint (do_fork t task)
+  | Syscall.Execve ->
+      (* Replace the address space: tear down and rebuild text/heap. *)
+      let mm = task.Task.mm in
+      let pages = Mm.resident_pages mm in
+      Hw.Clock.charge (clock t) "execve_teardown" (float_of_int pages *. Hw.Cost.per_pte_copy);
+      Syscall.Runit
+  | Syscall.Exit code ->
+      do_exit t task code;
+      Syscall.Runit
+  | Syscall.Pipe ->
+      let p = Pipe.create (clock t) in
+      let rfd = Task.install_fd task (Task.Pipe_read p) in
+      let wfd = Task.install_fd task (Task.Pipe_write p) in
+      Syscall.Rpair (rfd, wfd)
+  | Syscall.Socket ->
+      let ep = Net.endpoint t.wire in
+      Hashtbl.replace t.sockets ep.Net.id ep;
+      Syscall.Rint (Task.install_fd task (Task.Socket ep.Net.id))
+  | Syscall.Send { fd; data } -> do_write t task fd data
+  | Syscall.Recv { fd; n } -> do_read t task fd n
+  | Syscall.Sched_yield -> Syscall.Runit
+  | Syscall.Nanosleep ns ->
+      Hw.Clock.advance (clock t) ns;
+      Syscall.Runit
+
+let syscall_exn t task sc =
+  match syscall t task sc with
+  | Syscall.Rerr e -> failwith (Printf.sprintf "syscall %s failed: %s" (Syscall.name sc) e)
+  | r -> r
+
+(* ------------------------------------------------------------------ *)
+(* Device-side entry points (called by the host / client models)       *)
+(* ------------------------------------------------------------------ *)
+
+(* Drain the TX queue: host backend services posted descriptors and
+   raises one completion interrupt for the batch.  Callers decide the
+   batching granularity (per request for unpipelined servers, per
+   event-loop iteration for pipelined ones). *)
+let flush_net t =
+  if t.platform.Platform.virtualized_io && t.net_kick_pending then begin
+    ignore (Virtio.service t.net_dev);
+    t.net_kick_pending <- false;
+    Virtio.complete t.net_dev ~inject:(fun () -> begin
+        t.irq_count <- t.irq_count + 1;
+        t.platform.Platform.deliver_irq ()
+      end)
+  end
+
+(* A batch of packets arrives from outside for socket [sid]: the host
+   services the RX queue once and injects one interrupt. *)
+let deliver_packets t ~sid payloads =
+  match Hashtbl.find_opt t.sockets sid with
+  | None -> Error `No_socket
+  | Some ep ->
+      List.iter
+        (fun payload ->
+          Queue.add (-1, payload) ep.Net.rx;
+          ep.Net.rx_packets <- ep.Net.rx_packets + 1)
+        payloads;
+      if t.platform.Platform.virtualized_io then
+        Hw.Clock.charge (clock t) "virtio_service" Hw.Cost.virtio_backend_service;
+      t.irq_count <- t.irq_count + 1;
+      t.platform.Platform.deliver_irq ();
+      Ok ()
+
+(* A packet arrives from outside for socket [sid]: host services the
+   virtio queue and injects an interrupt into this kernel. *)
+let deliver_packet t ~sid payload =
+  match Hashtbl.find_opt t.sockets sid with
+  | None -> Error `No_socket
+  | Some ep ->
+      Queue.add (-1, payload) ep.Net.rx;
+      ep.Net.rx_packets <- ep.Net.rx_packets + 1;
+      if t.platform.Platform.virtualized_io then begin
+        Hw.Clock.charge (clock t) "virtio_service" Hw.Cost.virtio_backend_service;
+        Virtio.complete t.net_dev ~inject:(fun () -> begin
+            t.irq_count <- t.irq_count + 1;
+            t.platform.Platform.deliver_irq ()
+          end)
+      end
+      else begin
+        t.irq_count <- t.irq_count + 1;
+        t.platform.Platform.deliver_irq ()
+      end;
+      Ok ()
+
+let socket_endpoint t sid = Hashtbl.find_opt t.sockets sid
+let wire t = t.wire
+let net_device t = t.net_dev
+let blk_device t = t.blk_dev
+let irq_count t = t.irq_count

@@ -1,0 +1,54 @@
+(** The model kernel: tasks + scheduler + VFS + pipes + sockets +
+    VirtIO frontends, over a {!Platform.t}.
+
+    Instantiated once per container guest kernel (and once natively for
+    RunC). Syscall dispatch charges the platform's syscall round trip,
+    then performs real work against the in-memory structures. *)
+
+type t
+
+val create : Platform.t -> t
+val platform : t -> Platform.t
+val clock : t -> Hw.Clock.t
+val fs : t -> Tmpfs.t
+val syscall_count : t -> int
+
+val spawn : t -> Task.t
+(** New runnable task with a fresh address space. *)
+
+val task : t -> int -> Task.t option
+
+val touch : t -> Task.t -> Hw.Addr.va -> write:bool -> unit
+(** Touch user memory (demand paging) outside any syscall. *)
+
+val touch_range : t -> Task.t -> start:Hw.Addr.va -> pages:int -> write:bool -> int
+
+val context_switch : t -> from_pid:int -> to_pid:int -> unit
+(** Switch between two tasks; charges switch work + the platform's
+    address-space switch (a hypercall under PVM, a KSM CR3 load under
+    CKI). *)
+
+val syscall : t -> Task.t -> Syscall.t -> Syscall.result
+(** Execute one syscall on behalf of a task. *)
+
+val syscall_exn : t -> Task.t -> Syscall.t -> Syscall.result
+(** Like {!syscall} but turns [Rerr] into [Failure]. *)
+
+val flush_net : t -> unit
+(** Drain the TX queue: the host backend services posted descriptors
+    and raises one completion interrupt for the batch. Callers choose
+    the batching granularity (per request, or per event-loop
+    iteration for pipelined servers). *)
+
+val deliver_packets : t -> sid:int -> Bytes.t list -> (unit, [ `No_socket ]) result
+(** A batch of packets arrives for a socket: one RX service + one
+    interrupt for the whole batch. *)
+
+val deliver_packet : t -> sid:int -> Bytes.t -> (unit, [ `No_socket ]) result
+(** Single-packet delivery (service + interrupt per packet). *)
+
+val socket_endpoint : t -> int -> Net.endpoint option
+val wire : t -> Net.t
+val net_device : t -> Virtio.t
+val blk_device : t -> Virtio.t
+val irq_count : t -> int

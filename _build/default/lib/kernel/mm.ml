@@ -1,0 +1,153 @@
+(* Per-process memory management: VMAs + demand paging over the
+   platform's page-table interface.
+
+   `touch` is the workhorse: workloads call it for every page they
+   access; an unmapped page inside a VMA takes the platform's full
+   page-fault path (this is where RunC / HVM / PVM / CKI differ). *)
+
+type t = {
+  platform : Platform.t;
+  aspace : Platform.aspace;
+  vmas : Vma.t;
+  pages : (Hw.Addr.vpn, Hw.Addr.pfn) Hashtbl.t;  (** resident pages *)
+  mutable brk : Hw.Addr.va;
+  brk_base : Hw.Addr.va;
+  mutable mmap_cursor : Hw.Addr.va;
+  mutable faults : int;
+  mutable resident : int;
+}
+
+let user_mmap_base = 0x7000_0000_0000
+let user_brk_base = 0x1000_0000_0000
+let user_stack_top = 0x7fff_ffff_0000
+
+let create platform =
+  let aspace = platform.Platform.as_create () in
+  let t =
+    {
+      platform;
+      aspace;
+      vmas = Vma.create ();
+      pages = Hashtbl.create 1024;
+      brk = user_brk_base;
+      brk_base = user_brk_base;
+      mmap_cursor = user_mmap_base;
+      faults = 0;
+      resident = 0;
+    }
+  in
+  (* A default stack area. *)
+  ignore
+    (Vma.add t.vmas
+       ~start:(user_stack_top - (256 * Hw.Addr.page_size))
+       ~stop:user_stack_top ~prot:Vma.prot_rw ~backing:Vma.Stack);
+  t
+
+let destroy t =
+  Hashtbl.iter (fun _ pfn -> t.platform.Platform.free_frame pfn) t.pages;
+  Hashtbl.reset t.pages;
+  t.platform.Platform.as_destroy t.aspace
+
+let aspace t = t.aspace
+let fault_count t = t.faults
+let resident_pages t = t.resident
+
+(* mmap: reserve [pages] pages; returns the base va.  No frames are
+   allocated until touched. *)
+let mmap t ~pages ~prot ~backing =
+  if pages <= 0 then invalid_arg "Mm.mmap";
+  let base = Vma.find_gap t.vmas ~from:t.mmap_cursor ~pages in
+  let stop = base + (pages * Hw.Addr.page_size) in
+  ignore (Vma.add t.vmas ~start:base ~stop ~prot ~backing);
+  t.mmap_cursor <- stop;
+  base
+
+let munmap t ~start ~pages =
+  let stop = start + (pages * Hw.Addr.page_size) in
+  let _removed = Vma.remove t.vmas ~start ~stop in
+  for vpn = Hw.Addr.vpn_of_va start to Hw.Addr.vpn_of_va (stop - 1) do
+    match Hashtbl.find_opt t.pages vpn with
+    | None -> ()
+    | Some pfn ->
+        Hashtbl.remove t.pages vpn;
+        t.resident <- t.resident - 1;
+        t.platform.Platform.pte_remove t.aspace ~va:(Hw.Addr.va_of_vpn vpn);
+        t.platform.Platform.free_frame pfn
+  done
+
+let mprotect t ~start ~pages ~prot =
+  let stop = start + (pages * Hw.Addr.page_size) in
+  ignore (Vma.protect t.vmas ~start ~stop ~prot);
+  (* Update PTEs of resident pages in the range. *)
+  for vpn = Hw.Addr.vpn_of_va start to Hw.Addr.vpn_of_va (stop - 1) do
+    if Hashtbl.mem t.pages vpn then
+      t.platform.Platform.pte_protect t.aspace ~va:(Hw.Addr.va_of_vpn vpn)
+        ~writable:prot.Vma.write
+  done
+
+let brk t ~delta_pages =
+  let new_brk = t.brk + (delta_pages * Hw.Addr.page_size) in
+  if new_brk < t.brk_base then invalid_arg "Mm.brk: below base";
+  if delta_pages > 0 then
+    ignore (Vma.add t.vmas ~start:t.brk ~stop:new_brk ~prot:Vma.prot_rw ~backing:Vma.Heap)
+  else if delta_pages < 0 then ignore (Vma.remove t.vmas ~start:new_brk ~stop:t.brk);
+  t.brk <- new_brk;
+  t.brk
+
+exception Segfault of Hw.Addr.va
+
+(* Handle a demand fault on [va]: full platform fault path + service. *)
+let handle_fault t va ~write =
+  match Vma.find t.vmas va with
+  | None -> raise (Segfault va)
+  | Some area ->
+      if write && not area.Vma.prot.Vma.write then raise (Segfault va);
+      t.faults <- t.faults + 1;
+      let p = t.platform in
+      p.Platform.fault_round_trip ();
+      Hw.Clock.charge p.Platform.clock "pf_service" p.Platform.fault_service_ns;
+      let pfn = p.Platform.alloc_frame () in
+      p.Platform.pte_install t.aspace ~va:(Hw.Addr.page_align_down va) ~pfn
+        ~writable:area.Vma.prot.Vma.write ~user:true;
+      Hashtbl.replace t.pages (Hw.Addr.vpn_of_va va) pfn;
+      t.resident <- t.resident + 1
+
+(* Access the page containing [va], demand-faulting if needed. *)
+let touch t va ~write =
+  let vpn = Hw.Addr.vpn_of_va va in
+  match Hashtbl.find_opt t.pages vpn with
+  | Some _ -> ()
+  | None -> handle_fault t va ~write
+
+(* Touch every page of [start, start + pages).  Returns faults taken. *)
+let touch_range t ~start ~pages ~write =
+  let before = t.faults in
+  for i = 0 to pages - 1 do
+    touch t (start + (i * Hw.Addr.page_size)) ~write
+  done;
+  t.faults - before
+
+(* Duplicate this mm for fork: copies VMAs and eagerly copies resident
+   pages (the model does not implement copy-on-write; lmbench's
+   fork costs are dominated by the per-PTE work either way, which the
+   platform charges in pte_install). *)
+let fork t =
+  let child = create t.platform in
+  Vma.iter t.vmas (fun a ->
+      if not (Vma.overlaps child.vmas ~start:a.Vma.start ~stop:a.Vma.stop) then
+        ignore
+          (Vma.add child.vmas ~start:a.Vma.start ~stop:a.Vma.stop ~prot:a.Vma.prot
+             ~backing:a.Vma.backing));
+  Hashtbl.iter
+    (fun vpn _pfn ->
+      let pfn' = t.platform.Platform.alloc_frame () in
+      Hw.Clock.charge t.platform.Platform.clock "fork_page_copy" Hw.Cost.per_pte_copy;
+      (match Vma.find t.vmas (Hw.Addr.va_of_vpn vpn) with
+      | Some a ->
+          t.platform.Platform.pte_install child.aspace ~va:(Hw.Addr.va_of_vpn vpn) ~pfn:pfn'
+            ~writable:a.Vma.prot.Vma.write ~user:true
+      | None -> ());
+      Hashtbl.replace child.pages vpn pfn';
+      child.resident <- child.resident + 1)
+    t.pages;
+  child

@@ -1,0 +1,45 @@
+(** Per-process memory management: VMAs + demand paging over the
+    platform's page-table interface.
+
+    {!touch} is the workhorse: workloads call it for every page they
+    access; an unmapped page inside a VMA takes the platform's full
+    page-fault path — which is where RunC / HVM / PVM / CKI differ. *)
+
+type t
+
+val user_mmap_base : Hw.Addr.va
+val user_brk_base : Hw.Addr.va
+val user_stack_top : Hw.Addr.va
+
+val create : Platform.t -> t
+(** Fresh address space with a default stack VMA. *)
+
+val destroy : t -> unit
+(** Free all resident frames and the address space. *)
+
+val aspace : t -> Platform.aspace
+val fault_count : t -> int
+val resident_pages : t -> int
+
+val mmap : t -> pages:int -> prot:Vma.prot -> backing:Vma.backing -> Hw.Addr.va
+(** Reserve pages (no frames allocated until touched). *)
+
+val munmap : t -> start:Hw.Addr.va -> pages:int -> unit
+val mprotect : t -> start:Hw.Addr.va -> pages:int -> prot:Vma.prot -> unit
+val brk : t -> delta_pages:int -> Hw.Addr.va
+
+exception Segfault of Hw.Addr.va
+
+val handle_fault : t -> Hw.Addr.va -> write:bool -> unit
+(** Demand fault: full platform fault path + frame allocation + PTE
+    install. @raise Segfault outside any (writable, for writes) VMA. *)
+
+val touch : t -> Hw.Addr.va -> write:bool -> unit
+(** Access the page containing an address, demand-faulting if needed. *)
+
+val touch_range : t -> start:Hw.Addr.va -> pages:int -> write:bool -> int
+(** Touch every page of a range; returns the number of faults taken. *)
+
+val fork : t -> t
+(** Duplicate for fork: copies VMAs and eagerly copies resident pages
+    (no COW; per-page copy costs are charged). *)

@@ -1,0 +1,24 @@
+(** A minimal network: endpoints with RX queues connected pairwise.
+
+    Client models (memtier, netperf, web clients) sit on one endpoint,
+    the container's server kernel on the other. Wire time is not
+    charged on the sender's clock — the NIC drains asynchronously, so
+    only CPU-side costs count for server throughput. *)
+
+type endpoint = {
+  id : int;
+  rx : (int * Bytes.t) Queue.t;
+  mutable peer : int option;
+  mutable rx_packets : int;
+  mutable tx_packets : int;
+}
+
+type t
+
+val create : Hw.Clock.t -> t
+val endpoint : t -> endpoint
+val connect : t -> endpoint -> endpoint -> unit
+val get : t -> int -> endpoint
+val send : t -> endpoint -> Bytes.t -> (int, [ `Not_connected ]) result
+val recv : endpoint -> (Bytes.t, [ `Would_block ]) result
+val pending : endpoint -> int

@@ -1,0 +1,41 @@
+(* Pipes and AF_UNIX-style stream sockets: bounded byte queues with
+   blocking semantics surfaced as [`Would_block]. *)
+
+type t = {
+  capacity : int;
+  buf : Buffer.t;
+  mutable read_closed : bool;
+  mutable write_closed : bool;
+  clock : Hw.Clock.t;
+}
+
+let create ?(capacity = 65536) clock =
+  { capacity; buf = Buffer.create 4096; read_closed = false; write_closed = false; clock }
+
+let available t = Buffer.length t.buf
+let room t = t.capacity - Buffer.length t.buf
+
+let write t src =
+  if t.read_closed then Error `Epipe
+  else if room t <= 0 then Error `Would_block
+  else begin
+    let n = min (Bytes.length src) (room t) in
+    Buffer.add_subbytes t.buf src 0 n;
+    Hw.Clock.charge t.clock "pipe_copy" (float_of_int n *. Hw.Cost.copy_byte);
+    Ok n
+  end
+
+let read t ~n =
+  if available t = 0 then if t.write_closed then Ok Bytes.empty else Error `Would_block
+  else begin
+    let n = min n (available t) in
+    let data = Bytes.of_string (String.sub (Buffer.contents t.buf) 0 n) in
+    let rest = String.sub (Buffer.contents t.buf) n (available t - n) in
+    Buffer.clear t.buf;
+    Buffer.add_string t.buf rest;
+    Hw.Clock.charge t.clock "pipe_copy" (float_of_int n *. Hw.Cost.copy_byte);
+    Ok data
+  end
+
+let close_read t = t.read_closed <- true
+let close_write t = t.write_closed <- true

@@ -1,0 +1,70 @@
+(* Slab-style object caches on top of the buddy allocator.
+
+   Objects are identified by integer handles; the cache tracks which
+   backing frames they live on so freeing the last object of a slab
+   returns the frame to the buddy. *)
+
+type slab = {
+  frame : Hw.Addr.pfn;
+  mutable free_slots : int list;
+  mutable used : int;
+}
+
+type t = {
+  name : string;
+  obj_size : int;
+  objs_per_slab : int;
+  buddy : Buddy.t;
+  mutable slabs : slab list;
+  handle_of : (int, slab * int) Hashtbl.t;  (** handle -> (slab, slot) *)
+  mutable next_handle : int;
+  mutable allocated : int;
+}
+
+let create ~name ~obj_size buddy =
+  if obj_size <= 0 || obj_size > Hw.Addr.page_size then invalid_arg "Slab.create: bad obj_size";
+  {
+    name;
+    obj_size;
+    objs_per_slab = Hw.Addr.page_size / obj_size;
+    buddy;
+    slabs = [];
+    handle_of = Hashtbl.create 64;
+    next_handle = 1;
+    allocated = 0;
+  }
+
+let rec alloc t =
+  match List.find_opt (fun s -> s.free_slots <> []) t.slabs with
+  | Some s -> (
+      match s.free_slots with
+      | [] -> assert false
+      | slot :: rest ->
+          s.free_slots <- rest;
+          s.used <- s.used + 1;
+          let h = t.next_handle in
+          t.next_handle <- h + 1;
+          Hashtbl.replace t.handle_of h (s, slot);
+          t.allocated <- t.allocated + 1;
+          h)
+  | None ->
+      let frame = Buddy.alloc t.buddy in
+      let s = { frame; free_slots = List.init t.objs_per_slab Fun.id; used = 0 } in
+      t.slabs <- s :: t.slabs;
+      alloc t
+
+let free t h =
+  match Hashtbl.find_opt t.handle_of h with
+  | None -> invalid_arg "Slab.free: unknown handle"
+  | Some (s, slot) ->
+      Hashtbl.remove t.handle_of h;
+      s.free_slots <- slot :: s.free_slots;
+      s.used <- s.used - 1;
+      t.allocated <- t.allocated - 1;
+      if s.used = 0 && List.length t.slabs > 1 then begin
+        t.slabs <- List.filter (fun s' -> s' != s) t.slabs;
+        Buddy.free t.buddy s.frame
+      end
+
+let allocated t = t.allocated
+let slab_count t = List.length t.slabs

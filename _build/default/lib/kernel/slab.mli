@@ -1,0 +1,18 @@
+(** Slab-style object caches on top of the buddy allocator.
+
+    Objects are integer handles; the cache tracks backing frames so
+    freeing the last object of a slab returns its frame to the buddy. *)
+
+type t
+
+val create : name:string -> obj_size:int -> Buddy.t -> t
+(** @raise Invalid_argument if [obj_size] is not in 1..4096. *)
+
+val alloc : t -> int
+(** Allocate an object; grows by one frame when all slabs are full. *)
+
+val free : t -> int -> unit
+(** @raise Invalid_argument on an unknown handle. *)
+
+val allocated : t -> int
+val slab_count : t -> int

@@ -1,0 +1,64 @@
+(* VirtIO split-queue model: descriptor ring + avail/used indices.
+
+   The guest posts descriptors and *kicks* the device (an MMIO doorbell
+   = VM exit under HVM, a hypercall under PVM/CKI); the host backend
+   services the queue and raises a (virtual) interrupt back. *)
+
+type desc = { id : int; len : int; write : bool }
+
+type t = {
+  name : string;
+  size : int;
+  ring : desc option array;
+  mutable avail_idx : int;
+  mutable used_idx : int;
+  mutable kicks : int;
+  mutable interrupts : int;
+  clock : Hw.Clock.t;
+}
+
+exception Ring_full
+
+let create ?(size = 256) ~name clock =
+  { name; size; ring = Array.make size None; avail_idx = 0; used_idx = 0; kicks = 0; interrupts = 0; clock }
+
+let in_flight t = t.avail_idx - t.used_idx
+
+(* Guest side: post a buffer descriptor. *)
+let post t ~len ~write =
+  if in_flight t >= t.size then raise Ring_full;
+  let slot = t.avail_idx mod t.size in
+  t.ring.(slot) <- Some { id = t.avail_idx; len; write };
+  t.avail_idx <- t.avail_idx + 1;
+  Hw.Clock.charge t.clock "virtio_post" Hw.Cost.virtio_frontend_work
+
+(* Guest side: ring the doorbell. The caller supplies the platform's
+   exit mechanism (hypercall / MMIO VM exit). *)
+let kick t ~doorbell =
+  t.kicks <- t.kicks + 1;
+  doorbell ()
+
+(* Host side: service all pending descriptors; returns serviced count.
+   Charges the backend service cost per batch plus copy per byte. *)
+let service t =
+  let n = in_flight t in
+  if n > 0 then begin
+    Hw.Clock.charge t.clock "virtio_service" Hw.Cost.virtio_backend_service;
+    for _ = 1 to n do
+      let slot = t.used_idx mod t.size in
+      (match t.ring.(slot) with
+      | Some d -> Hw.Clock.charge t.clock "virtio_copy" (float_of_int d.len *. Hw.Cost.copy_byte)
+      | None -> ());
+      t.ring.(t.used_idx mod t.size) <- None;
+      t.used_idx <- t.used_idx + 1
+    done
+  end;
+  n
+
+(* Host side: raise the completion interrupt via [inject]. *)
+let complete t ~inject =
+  t.interrupts <- t.interrupts + 1;
+  inject ()
+
+let kicks t = t.kicks
+let interrupts t = t.interrupts

@@ -1,0 +1,27 @@
+(** VirtIO split-queue model: descriptor ring + avail/used indices.
+
+    The guest posts descriptors and kicks the device (an MMIO doorbell
+    under HVM, a hypercall under PVM/CKI); the host backend services
+    the queue and raises a completion interrupt. *)
+
+type t
+
+exception Ring_full
+
+val create : ?size:int -> name:string -> Hw.Clock.t -> t
+val in_flight : t -> int
+
+val post : t -> len:int -> write:bool -> unit
+(** Guest: post a buffer descriptor. @raise Ring_full. *)
+
+val kick : t -> doorbell:(unit -> unit) -> unit
+(** Guest: ring the doorbell via the platform's exit mechanism. *)
+
+val service : t -> int
+(** Host: service all pending descriptors; returns the count. *)
+
+val complete : t -> inject:(unit -> unit) -> unit
+(** Host: raise the completion interrupt. *)
+
+val kicks : t -> int
+val interrupts : t -> int

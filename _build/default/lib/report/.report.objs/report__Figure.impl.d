@@ -1,0 +1,1 @@
+lib/report/figure.ml: Buffer Float List Printf Stats String

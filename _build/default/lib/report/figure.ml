@@ -1,0 +1,54 @@
+(* ASCII "figures": grouped horizontal bars (for the normalized bar
+   charts of Figures 4/5/11/12/14/15) and xy-series (Figures 13/16). *)
+
+let bar_width = 40
+
+let render_bar ~scale v =
+  let n = int_of_float (Float.round (v /. scale *. float_of_int bar_width)) in
+  let n = max 0 (min (2 * bar_width) n) in
+  String.make n '#'
+
+(* Grouped bars: for each group (e.g. an application), one bar per
+   series (e.g. a backend), annotated with the value. *)
+let grouped_bars ~title ~value_label ~(groups : (string * (string * float) list) list) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "\n== %s ==\n(%s)\n" title value_label);
+  let vmax =
+    List.fold_left
+      (fun m (_, series) -> List.fold_left (fun m (_, v) -> max m v) m series)
+      1e-9 groups
+  in
+  let scale = if vmax <= 0.0 then 1.0 else vmax in
+  let label_w =
+    List.fold_left
+      (fun w (_, series) -> List.fold_left (fun w (s, _) -> max w (String.length s)) w series)
+      0 groups
+  in
+  List.iter
+    (fun (group, series) ->
+      Buffer.add_string buf (Printf.sprintf "%s\n" group);
+      List.iter
+        (fun (label, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s %8.3f |%s\n" label_w label v (render_bar ~scale v)))
+        series)
+    groups;
+  Buffer.contents buf
+
+(* XY series: one line per series, points rendered as columns. *)
+let series ~title ~x_label ~y_label ~(xs : float list) ~(series : (string * float list) list) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "\n== %s ==\n(x = %s, y = %s)\n" title x_label y_label);
+  let label_w = List.fold_left (fun w (s, _) -> max w (String.length s)) 1 series in
+  Buffer.add_string buf (Printf.sprintf "%-*s" (label_w + 2) "");
+  List.iter (fun x -> Buffer.add_string buf (Printf.sprintf "%10s" (Stats.si x))) xs;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (name, ys) ->
+      Buffer.add_string buf (Printf.sprintf "%-*s" (label_w + 2) name);
+      List.iter (fun y -> Buffer.add_string buf (Printf.sprintf "%10s" (Stats.si y))) ys;
+      Buffer.add_char buf '\n')
+    series;
+  Buffer.contents buf
+
+let print s = print_string s

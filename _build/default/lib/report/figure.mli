@@ -1,0 +1,16 @@
+(** ASCII "figures": grouped horizontal bars (the normalized bar charts
+    of Figures 4/5/11/12/14) and xy-series (Figures 13/16). *)
+
+val grouped_bars :
+  title:string -> value_label:string -> groups:(string * (string * float) list) list -> string
+(** One group per application, one labelled bar per backend. *)
+
+val series :
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  xs:float list ->
+  series:(string * float list) list ->
+  string
+
+val print : string -> unit

@@ -1,0 +1,1 @@
+lib/virt/backend.pp.ml: Env Hw Kernel_model

@@ -1,0 +1,1 @@
+lib/virt/backend.pp.mli: Env Hw Kernel_model

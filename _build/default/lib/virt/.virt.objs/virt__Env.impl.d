@@ -1,0 +1,1 @@
+lib/virt/env.pp.ml: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/virt/env.pp.mli: Format

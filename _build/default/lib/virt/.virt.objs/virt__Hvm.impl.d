@@ -1,0 +1,1 @@
+lib/virt/hvm.pp.ml: Backend Env Hashtbl Hw Kernel_model

@@ -1,0 +1,1 @@
+lib/virt/hvm.pp.mli: Backend Env Hw

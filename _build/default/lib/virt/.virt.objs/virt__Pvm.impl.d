@@ -1,0 +1,1 @@
+lib/virt/pvm.pp.ml: Backend Env Hashtbl Hw Kernel_model

@@ -1,0 +1,1 @@
+lib/virt/pvm.pp.mli: Backend Env Hw

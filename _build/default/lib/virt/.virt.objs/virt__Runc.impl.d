@@ -1,0 +1,1 @@
+lib/virt/runc.pp.ml: Backend Env Hw Kernel_model

@@ -1,0 +1,1 @@
+lib/virt/runc.pp.mli: Backend Env Hw

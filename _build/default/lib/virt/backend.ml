@@ -1,0 +1,36 @@
+(* The container abstraction every backend produces and every workload
+   consumes.
+
+   A container is a guest kernel (a [Kernel_model.Kernel.t]) plus the
+   backend-specific cost structure captured in its platform, plus a few
+   hooks for the microbenchmarks (empty hypercall, TLB-walk geometry). *)
+
+type t = {
+  label : string;  (** e.g. "RunC-BM", "HVM-NST", "PVM-BM", "CKI-NST" *)
+  backend_name : string;  (** "runc" | "hvm" | "pvm" | "cki" *)
+  env : Env.t;
+  kernel : Kernel_model.Kernel.t;
+  platform : Kernel_model.Platform.t;
+  clock : Hw.Clock.t;
+  walk_refs : int;  (** memory refs per TLB-miss page walk (4 KiB pages) *)
+  walk_refs_huge : int;  (** ... with 2 MiB mappings *)
+  supports_hypercall : bool;
+  empty_hypercall : unit -> unit;  (** charge one minimal guest->host call *)
+  guest_user_kernel_isolated : bool;  (** Table 1 security row *)
+}
+
+(* Simulated latency of running [f] inside the container. *)
+let time t f =
+  let _, ns = Hw.Clock.timed t.clock f in
+  ns
+
+(* Run a microbenchmark [n] times and return the mean latency (ns). *)
+let mean_latency t ~n f =
+  let total = time t (fun () -> for _ = 1 to n do f () done) in
+  total /. float_of_int n
+
+(* Spawn a fresh process inside the container. *)
+let spawn t = Kernel_model.Kernel.spawn t.kernel
+
+let syscall t task sc = Kernel_model.Kernel.syscall t.kernel task sc
+let syscall_exn t task sc = Kernel_model.Kernel.syscall_exn t.kernel task sc

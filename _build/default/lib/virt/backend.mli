@@ -1,0 +1,27 @@
+(** The container abstraction every backend produces and every workload
+    consumes: a guest kernel plus the backend-specific cost structure
+    captured in its platform, plus hooks for the microbenchmarks. *)
+
+type t = {
+  label : string;  (** e.g. "RunC-BM", "HVM-NST", "PVM-BM", "CKI-NST" *)
+  backend_name : string;  (** "runc" | "hvm" | "pvm" | "cki" *)
+  env : Env.t;
+  kernel : Kernel_model.Kernel.t;
+  platform : Kernel_model.Platform.t;
+  clock : Hw.Clock.t;
+  walk_refs : int;  (** memory refs per TLB-miss walk (4 KiB pages) *)
+  walk_refs_huge : int;  (** ... with 2 MiB mappings *)
+  supports_hypercall : bool;
+  empty_hypercall : unit -> unit;  (** charge one minimal guest->host call *)
+  guest_user_kernel_isolated : bool;  (** Table 1 security row *)
+}
+
+val time : t -> (unit -> 'a) -> float
+(** Simulated latency of running a thunk inside the container. *)
+
+val mean_latency : t -> n:int -> (unit -> unit) -> float
+(** Mean simulated latency over [n] runs. *)
+
+val spawn : t -> Kernel_model.Task.t
+val syscall : t -> Kernel_model.Task.t -> Kernel_model.Syscall.t -> Kernel_model.Syscall.result
+val syscall_exn : t -> Kernel_model.Task.t -> Kernel_model.Syscall.t -> Kernel_model.Syscall.result

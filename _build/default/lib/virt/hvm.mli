@@ -1,0 +1,12 @@
+(** HVM: hardware-assisted virtualization (the Kata Containers
+    configuration).
+
+    Native guest page tables and syscalls; the costs appear in EPT
+    violations on fresh gPAs (VM exits; in a nested cloud the L0 kernel
+    maintains a shadow EPT and every violation bounces L2-L0-L1-L0-L2),
+    two-dimensional page walks on TLB misses, and VM exits for every
+    hypercall, VirtIO doorbell, interrupt and EOI. *)
+
+val create : ?env:Env.t -> ?ept_huge:bool -> Hw.Machine.t -> Backend.t
+(** [ept_huge] backs container memory with 2 MiB EPT mappings — the
+    "2M" configurations of Figure 12 / Table 4. *)

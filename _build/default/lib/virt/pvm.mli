@@ -1,0 +1,11 @@
+(** PVM (SOSP'23): software-based virtualization — the state-of-the-art
+    secure container design without virtualization hardware.
+
+    The guest kernel is deprivileged to user mode in its own address
+    space. Reproduced consequences: syscall redirection (+2 mode
+    switches +2 CR3 switches: 93 -> 336 ns), shadow paging (guest PTE
+    writes trap; >= 6 context switches + emulation per user fault),
+    hypercall-per-CR3-load on process switches, and MMIO-emulated
+    VirtIO doorbells. *)
+
+val create : ?env:Env.t -> Hw.Machine.t -> Backend.t

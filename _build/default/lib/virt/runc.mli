@@ -1,0 +1,5 @@
+(** RunC: the OS-level container baseline — shared host kernel,
+    namespace isolation only, native syscalls/faults/devices. Sets the
+    performance bar every secure container is normalized against. *)
+
+val create : ?env:Env.t -> Hw.Machine.t -> Backend.t

@@ -1,0 +1,1 @@
+lib/workloads/btree.pp.ml: Array Obj Profile Virt

@@ -1,0 +1,1 @@
+lib/workloads/btree.pp.mli: Kernel_model Virt

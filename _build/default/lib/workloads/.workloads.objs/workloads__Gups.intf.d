@@ -1,0 +1,1 @@
+lib/workloads/gups.pp.mli: Virt

@@ -1,0 +1,1 @@
+lib/workloads/kv.pp.ml: Bytes Hashtbl Kernel_model List Ppx_deriving_runtime Profile Virt

@@ -1,0 +1,1 @@
+lib/workloads/kv.pp.mli: Bytes Format Hashtbl Kernel_model Virt

@@ -1,0 +1,1 @@
+lib/workloads/lmbench.pp.ml: Bytes Hashtbl Hw Kernel_model List Ppx_deriving_runtime Virt

@@ -1,0 +1,1 @@
+lib/workloads/netperf.pp.ml: Bytes Kernel_model Profile Virt

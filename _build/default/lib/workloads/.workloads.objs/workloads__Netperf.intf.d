@@ -1,0 +1,1 @@
+lib/workloads/netperf.pp.mli: Virt

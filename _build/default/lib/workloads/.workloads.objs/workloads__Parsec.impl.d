@@ -1,0 +1,1 @@
+lib/workloads/parsec.pp.ml: Bytes Kernel_model Profile Virt

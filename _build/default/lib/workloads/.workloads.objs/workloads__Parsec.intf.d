@@ -1,0 +1,1 @@
+lib/workloads/parsec.pp.mli: Virt

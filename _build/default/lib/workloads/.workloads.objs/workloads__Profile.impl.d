@@ -1,0 +1,1 @@
+lib/workloads/profile.pp.ml: Format Hw Int64 Kernel_model Virt

@@ -1,0 +1,1 @@
+lib/workloads/profile.pp.mli: Format Kernel_model Virt

@@ -1,0 +1,1 @@
+lib/workloads/sqlite.pp.ml: Bytes Hashtbl Kernel_model Ppx_deriving_runtime Profile Virt

@@ -1,0 +1,1 @@
+lib/workloads/sqlite.pp.mli: Format Virt

@@ -1,0 +1,1 @@
+lib/workloads/webserver.pp.ml: Bytes Kernel_model List Ppx_deriving_runtime Profile Virt

@@ -1,0 +1,1 @@
+lib/workloads/webserver.pp.mli: Format Virt

@@ -1,0 +1,1 @@
+lib/workloads/xsbench.pp.ml: Profile Virt

@@ -1,0 +1,1 @@
+lib/workloads/xsbench.pp.mli: Virt

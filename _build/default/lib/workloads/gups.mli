@@ -1,0 +1,19 @@
+(** GUPS (HPCC RandomAccess) and the big-BTree lookup of Table 4:
+    TLB-miss-bound workloads where the differentiator is page-walk
+    geometry — 4 references natively (RunC / PVM-shadow / CKI) vs 24
+    under two-dimensional EPT translation, or 15 with 2 MiB EPT
+    mappings.
+
+    Sampled loops run through a real PCID-tagged TLB over a scaled
+    table; [ept_huge] shortens only the second-stage walk (the guest's
+    4 KiB TLB granularity is unchanged, as the paper found). *)
+
+type result = { total_ns : float; tlb_miss_rate : float }
+
+val run_gups : Virt.Backend.t -> ?ept_huge:bool -> table_pages:int -> updates:int -> unit -> result
+
+val run_btree_lookup :
+  Virt.Backend.t -> ?ept_huge:bool -> table_pages:int -> lookups:int -> unit -> result
+(** Hot inner nodes (TLB-resident) + one cold leaf page per lookup —
+    why the paper's HVM penalty here (6%) is smaller than GUPS's
+    (19%). *)

@@ -1,0 +1,10 @@
+(** netperf TX (bulk stream) and RR (1-byte request/response) —
+    Figure 5. RR is the worst case for exit-heavy backends: every
+    transaction is an RX interrupt + recv + send + doorbell. *)
+
+val run_tx : Virt.Backend.t -> sends:int -> float
+(** Bulk TX throughput in MB/s of simulated time (16 KiB sends,
+    completions coalesced 8:1). *)
+
+val run_rr : Virt.Backend.t -> transactions:int -> float
+(** Transactions per simulated second. *)

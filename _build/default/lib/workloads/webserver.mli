@@ -1,0 +1,16 @@
+(** Web-server workloads of Figure 5: nginx static files, nginx as a
+    reverse proxy (double virtio traffic), and Apache httpd (heavier
+    per-request syscall footprint). *)
+
+type kind = Nginx_static | Nginx_proxy | Httpd
+
+val pp_kind : Format.formatter -> kind -> unit
+val show_kind : kind -> string
+val equal_kind : kind -> kind -> bool
+val kind_name : kind -> string
+val file_bytes : int
+val rx_batch : int
+val request_compute : kind -> float
+
+val run : Virt.Backend.t -> kind -> requests:int -> float
+(** Requests per simulated second. *)

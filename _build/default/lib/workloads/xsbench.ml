@@ -1,0 +1,33 @@
+(* XSBench: Monte-Carlo neutron-transport macroscopic cross-section
+   lookup kernel (Figures 4/12/13b).
+
+   Two phases, as in the paper's analysis:
+     - initialization: generate the nuclide grid data — large
+       sequential allocation, page-fault dominated;
+     - calculation: per particle, a series of random grid lookups —
+       pure compute, no faults.
+   Overhead relative to RunC therefore *decreases* with the particle
+   count, which is exactly what Figure 13b sweeps. *)
+
+let gridpoint_bytes = 128
+let lookups_per_particle = 34 (* XSBench default: avg segments per particle *)
+let lookup_compute = 85.0
+let init_compute_per_gridpoint = 30.0
+
+let run (b : Virt.Backend.t) ~gridpoints ~particles =
+  let task = Virt.Backend.spawn b in
+  let rng = Profile.Rng.create ~seed:42L () in
+  Profile.timed b (fun () ->
+      (* Initialization: data generation. *)
+      let arena = Profile.Arena.create b task in
+      for _ = 1 to gridpoints do
+        Profile.Arena.alloc arena gridpoint_bytes;
+        Profile.compute b init_compute_per_gridpoint
+      done;
+      (* Calculation: simulate each particle. *)
+      for _ = 1 to particles do
+        for _ = 1 to lookups_per_particle do
+          ignore (Profile.Rng.int rng gridpoints);
+          Profile.compute b lookup_compute
+        done
+      done)

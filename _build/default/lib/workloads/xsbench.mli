@@ -1,0 +1,15 @@
+(** XSBench: Monte-Carlo neutron-transport cross-section lookup kernel
+    (Figures 4/12/13b).
+
+    Initialization (grid generation) is page-fault dominated; the
+    calculation phase (per-particle random lookups) is pure compute —
+    so secure-container overhead decays with the particle count, the
+    Figure 13b sweep. *)
+
+val gridpoint_bytes : int
+val lookups_per_particle : int
+val lookup_compute : float
+val init_compute_per_gridpoint : float
+
+val run : Virt.Backend.t -> gridpoints:int -> particles:int -> float
+(** Total simulated latency. *)

@@ -1,0 +1,1 @@
+test/test_cki.ml: Alcotest Array Cki Float Hw Kernel_model List QCheck QCheck_alcotest Virt

@@ -1,0 +1,1 @@
+test/test_depth.ml: Alcotest Bytes Cki Float Hw Kernel_model List Printf QCheck QCheck_alcotest Virt Workloads

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Cki Float Hw Kernel_model List Printf Virt Workloads

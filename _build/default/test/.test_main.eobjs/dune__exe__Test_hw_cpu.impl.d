@@ -1,0 +1,1 @@
+test/test_hw_cpu.ml: Alcotest Hw List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hw_mem.ml: Alcotest Hashtbl Hw List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bytes Cki Float Hw Kernel_model List Virt Workloads

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Bytes Hw Kernel_model List QCheck QCheck_alcotest

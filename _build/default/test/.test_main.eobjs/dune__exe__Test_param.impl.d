@@ -1,0 +1,1 @@
+test/test_param.ml: Alcotest Cki Float Hw Lazy List Virt Workloads

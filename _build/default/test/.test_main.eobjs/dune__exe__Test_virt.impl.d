@@ -1,0 +1,1 @@
+test/test_virt.ml: Alcotest Cki Float Hw Kernel_model Virt

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cki Float Hashtbl Hw Kernel_model List QCheck QCheck_alcotest Report String Virt Workloads

@@ -1,0 +1,199 @@
+(* Tests for the Section 9 future-work extensions (driver sandboxing,
+   kernel-level syscall elision), the Section 3.1 Design-PKU ablation,
+   and the S9 DoS-containment scenario. *)
+
+open Alcotest
+
+let check_int = check int
+let check_bool = check bool
+
+(* ------------------------ Driver sandboxing ------------------------ *)
+
+let mk_registry () = Cki.Driver_sandbox.create_registry (Hw.Machine.create ~mem_mib:64 ())
+
+let test_driver_load_unload () =
+  let r = mk_registry () in
+  let keys0 = Cki.Driver_sandbox.free_key_count r in
+  let d1 = Cki.Driver_sandbox.load r ~name:"e1000" ~heap_pages:4 in
+  let d2 = Cki.Driver_sandbox.load r ~name:"nvme" ~heap_pages:4 in
+  check_int "two loaded" 2 (Cki.Driver_sandbox.loaded_count r);
+  check_int "keys consumed" (keys0 - 2) (Cki.Driver_sandbox.free_key_count r);
+  check_bool "distinct keys" true (d1.Cki.Driver_sandbox.key <> d2.Cki.Driver_sandbox.key);
+  Cki.Driver_sandbox.unload r d1;
+  check_int "key recycled" (keys0 - 1) (Cki.Driver_sandbox.free_key_count r);
+  check_bool "dead after unload" true (Cki.Driver_sandbox.is_dead d1)
+
+let test_driver_key_exhaustion () =
+  let r = mk_registry () in
+  let n = Cki.Driver_sandbox.free_key_count r in
+  let drivers = List.init n (fun i -> Cki.Driver_sandbox.load r ~name:(Printf.sprintf "d%d" i) ~heap_pages:1) in
+  check_raises "no free keys" Cki.Driver_sandbox.No_free_keys (fun () ->
+      ignore (Cki.Driver_sandbox.load r ~name:"one-too-many" ~heap_pages:1));
+  (* unloading any driver makes room again *)
+  (match drivers with
+  | d :: _ ->
+      Cki.Driver_sandbox.unload r d;
+      ignore (Cki.Driver_sandbox.load r ~name:"again" ~heap_pages:1)
+  | [] -> fail "no drivers")
+
+let test_driver_invoke_and_heap () =
+  let r = mk_registry () in
+  let d = Cki.Driver_sandbox.load r ~name:"e1000" ~heap_pages:2 in
+  (match Cki.Driver_sandbox.invoke d (fun d -> Cki.Driver_sandbox.heap_write d 0xd000_0000_0000) with
+  | Ok () -> ()
+  | Error _ -> fail "invoke failed");
+  check_int "invocation counted" 1 (Cki.Driver_sandbox.invocation_count d)
+
+let test_driver_memory_escape_killed () =
+  let r = mk_registry () in
+  let d = Cki.Driver_sandbox.load r ~name:"rogue" ~heap_pages:1 in
+  (match Cki.Driver_sandbox.invoke d (fun d -> Cki.Driver_sandbox.attempt_kernel_write d 0xffff_1000) with
+  | Ok `Killed -> ()
+  | Ok `Escaped -> fail "driver escaped PKS isolation"
+  | Error _ -> fail "invoke failed");
+  check_bool "driver dead" true (Cki.Driver_sandbox.is_dead d);
+  check_int "fault recorded" 1 (Cki.Driver_sandbox.fault_count d);
+  (* further calls fail fast *)
+  match Cki.Driver_sandbox.invoke d (fun _ -> ()) with
+  | Error _ -> ()
+  | Ok () -> fail "dead driver accepted a call"
+
+let test_driver_priv_instructions_blocked () =
+  let r = mk_registry () in
+  let d = Cki.Driver_sandbox.load r ~name:"rogue" ~heap_pages:1 in
+  List.iter
+    (fun inst ->
+      match Cki.Driver_sandbox.attempt_priv d inst with
+      | `Blocked -> check_bool (Hw.Priv.mnemonic inst) true (Hw.Priv.blocked_in_guest inst)
+      | `Harmless -> check_bool (Hw.Priv.mnemonic inst) false (Hw.Priv.blocked_in_guest inst)
+      | `Escaped -> fail (Hw.Priv.mnemonic inst ^ " escaped"))
+    [ Hw.Priv.Lidt; Hw.Priv.Cli; Hw.Priv.Mov_to_cr3; Hw.Priv.Wrmsr 0x10; Hw.Priv.Mov_from_cr 0 ]
+
+let test_driver_gate_cheaper_than_ipc () =
+  let r = mk_registry () in
+  let d = Cki.Driver_sandbox.load r ~name:"e1000" ~heap_pages:1 in
+  let clock = d.Cki.Driver_sandbox.clock in
+  let t0 = Hw.Clock.now clock in
+  (match Cki.Driver_sandbox.invoke d (fun _ -> ()) with Ok () -> () | Error _ -> fail "invoke");
+  let gate = Hw.Clock.now clock -. t0 in
+  let t1 = Hw.Clock.now clock in
+  Cki.Driver_sandbox.invoke_microkernel_style d (fun _ -> ());
+  let ipc = Hw.Clock.now clock -. t1 in
+  check_bool "PKS gate at least 4x cheaper than IPC" true (ipc /. gate >= 4.0)
+
+(* ---------------------- Kernel-level syscalls ---------------------- *)
+
+let test_inkernel_syscall_cost () =
+  let b = Cki.Container.backend (Cki.Container.create_standalone ~mem_mib:128 ()) in
+  let app = Cki.Kernel_app.wrap_backend b in
+  let kb = Cki.Kernel_app.backend app in
+  let task = Virt.Backend.spawn kb in
+  let cost =
+    Virt.Backend.mean_latency kb ~n:200 (fun () ->
+        ignore (Virt.Backend.syscall_exn kb task Kernel_model.Syscall.Getpid))
+  in
+  (* 63 ns gate + 3 ns getpid work *)
+  check_bool "syscall ~66ns in-kernel" true (Float.abs (cost -. 66.0) < 2.0);
+  check_bool "elisions counted" true (Cki.Kernel_app.syscalls_elided app >= 200)
+
+let test_inkernel_speedup_matches_prediction () =
+  let normal = Cki.Container.backend (Cki.Container.create_standalone ~mem_mib:128 ()) in
+  let inkernel =
+    Cki.Kernel_app.backend
+      (Cki.Kernel_app.wrap_backend (Cki.Container.backend (Cki.Container.create_standalone ~mem_mib:128 ())))
+  in
+  let ops = 600 in
+  let r_n = Workloads.Sqlite.run_pattern normal Workloads.Sqlite.Fillseq ~ops in
+  let r_k = Workloads.Sqlite.run_pattern inkernel Workloads.Sqlite.Fillseq ~ops in
+  let measured = r_k.Workloads.Sqlite.ops_per_sec /. r_n.Workloads.Sqlite.ops_per_sec in
+  let predicted =
+    Cki.Kernel_app.predicted_speedup
+      ~op_ns:(1e9 /. r_n.Workloads.Sqlite.ops_per_sec)
+      ~syscalls_per_op:r_n.Workloads.Sqlite.syscalls_per_op
+  in
+  check_bool "speedup > 1" true (measured > 1.0);
+  check_bool "matches analytical prediction" true (Float.abs (measured -. predicted) < 0.02)
+
+(* ------------------------- Design-PKU ablation --------------------- *)
+
+let test_design_pku_fault_penalty () =
+  let pf cfg =
+    let b = Cki.Container.backend (Cki.Container.create_standalone ~cfg ~mem_mib:128 ()) in
+    let task = Virt.Backend.spawn b in
+    let base =
+      match
+        Virt.Backend.syscall_exn b task (Kernel_model.Syscall.Mmap { pages = 128; prot = Kernel_model.Vma.prot_rw })
+      with
+      | Kernel_model.Syscall.Rint v -> v
+      | _ -> fail "mmap"
+    in
+    let _, ns =
+      Hw.Clock.timed b.Virt.Backend.clock (fun () ->
+          ignore (Kernel_model.Mm.touch_range task.Kernel_model.Task.mm ~start:base ~pages:128 ~write:true))
+    in
+    ns /. 128.0
+  in
+  let pks = pf Cki.Config.default in
+  let pku = pf Cki.Config.pku_design in
+  check_bool "PKU adds ~750ns per fault" true (Float.abs (pku -. pks -. 750.0) < 10.0)
+
+(* --------------------- S9: DoS containment ------------------------- *)
+
+let test_dos_containment () =
+  (* Container A's guest kernel deadloops and tries to keep interrupts
+     off; the host still regains control via the timer, and container B
+     makes progress. *)
+  let machine = Hw.Machine.create ~cpus:2 ~mem_mib:256 () in
+  let host = Cki.Host.create machine in
+  let cfg = { Cki.Config.default with Cki.Config.segment_frames = 4096 } in
+  let a = Cki.Container.create ~cfg host in
+  let b = Cki.Container.create ~cfg host in
+  let cpu_a = Cki.Container.cpu a 0 in
+  Cki.Container.enter_guest_kernel cpu_a;
+  (* A tries to disable interrupts: blocked. *)
+  (match Hw.Cpu.exec_priv cpu_a Hw.Priv.Cli with
+  | Error (Hw.Cpu.Blocked_instruction _) -> ()
+  | _ -> fail "cli must be blocked");
+  check_bool "IF still on" true cpu_a.Hw.Cpu.if_flag;
+  (* A deadloops; host timer interrupts still get through the gate. *)
+  let preemptions = ref 0 in
+  for _ = 1 to 5 do
+    match
+      Cki.Gates.interrupt (Cki.Container.gates a) cpu_a ~vcpu:0 ~vector:Hw.Idt.vec_timer
+        ~kind:Hw.Idt.Hardware (fun _ -> incr preemptions)
+    with
+    | Ok () -> ()
+    | Error e -> fail (Cki.Gates.show_error e)
+  done;
+  check_int "host preempted the spinner 5 times" 5 !preemptions;
+  (* B still runs: syscalls + faults proceed. *)
+  let bb = Cki.Container.backend b in
+  let task = Virt.Backend.spawn bb in
+  (match Virt.Backend.syscall_exn bb task Kernel_model.Syscall.Getpid with
+  | Kernel_model.Syscall.Rint _ -> ()
+  | _ -> fail "B blocked");
+  (* A's crash (triple-fault equivalent) only costs A its segment. *)
+  Cki.Host.reclaim_segment host ~container:(Cki.Container.container_id a);
+  match Virt.Backend.syscall_exn bb task Kernel_model.Syscall.Getpid with
+  | Kernel_model.Syscall.Rint _ -> ()
+  | _ -> fail "B affected by A's teardown"
+
+let suite =
+  [
+    ( "ext/driver_sandbox",
+      [
+        test_case "load/unload + key recycling" `Quick test_driver_load_unload;
+        test_case "key exhaustion" `Quick test_driver_key_exhaustion;
+        test_case "invoke + heap access" `Quick test_driver_invoke_and_heap;
+        test_case "memory escape -> killed" `Quick test_driver_memory_escape_killed;
+        test_case "privileged instructions blocked" `Quick test_driver_priv_instructions_blocked;
+        test_case "gate cheaper than IPC" `Quick test_driver_gate_cheaper_than_ipc;
+      ] );
+    ( "ext/kernel_app",
+      [
+        test_case "in-kernel syscall cost" `Quick test_inkernel_syscall_cost;
+        test_case "speedup matches prediction" `Quick test_inkernel_speedup_matches_prediction;
+      ] );
+    ("ext/design_pku", [ test_case "fault injection penalty" `Quick test_design_pku_fault_penalty ]);
+    ("integration/dos", [ test_case "S9 DoS containment" `Quick test_dos_containment ]);
+  ]

@@ -1,0 +1,371 @@
+(* Tests for Hw: TLB, PKS, privileged instructions, CPU, IDT, EPT,
+   VMCS, clock. *)
+
+open Alcotest
+
+let check_int = check int
+let check_bool = check bool
+
+(* ------------------------------- Tlb ------------------------------ *)
+
+let entry pfn = { Hw.Tlb.pfn; flags = Hw.Pte.default_flags; level = 1 }
+
+let test_tlb_hit_miss () =
+  let t = Hw.Tlb.create ~capacity:4 () in
+  check_bool "cold miss" true (Hw.Tlb.lookup t ~pcid:1 0x1000 = None);
+  Hw.Tlb.insert t ~pcid:1 ~va:0x1000 (entry 7);
+  (match Hw.Tlb.lookup t ~pcid:1 0x1abc with
+  | Some e -> check_int "hit pfn" 7 e.Hw.Tlb.pfn
+  | None -> fail "expected hit");
+  check_int "hits" 1 (Hw.Tlb.hits t);
+  check_int "misses" 1 (Hw.Tlb.misses t)
+
+let test_tlb_pcid_isolation () =
+  let t = Hw.Tlb.create () in
+  Hw.Tlb.insert t ~pcid:1 ~va:0x1000 (entry 7);
+  check_bool "other pcid misses" true (Hw.Tlb.lookup t ~pcid:2 0x1000 = None);
+  (* invlpg in pcid 2 must not remove pcid 1's entry *)
+  Hw.Tlb.invlpg t ~pcid:2 0x1000;
+  check_bool "pcid 1 survives" true (Hw.Tlb.lookup t ~pcid:1 0x1000 <> None);
+  Hw.Tlb.invlpg t ~pcid:1 0x1000;
+  check_bool "pcid 1 flushed" true (Hw.Tlb.lookup t ~pcid:1 0x1000 = None)
+
+let test_tlb_flush_pcid () =
+  let t = Hw.Tlb.create () in
+  Hw.Tlb.insert t ~pcid:1 ~va:0x1000 (entry 1);
+  Hw.Tlb.insert t ~pcid:1 ~va:0x2000 (entry 2);
+  Hw.Tlb.insert t ~pcid:2 ~va:0x3000 (entry 3);
+  Hw.Tlb.flush_pcid t ~pcid:1;
+  check_int "pcid1 empty" 0 (Hw.Tlb.entries_for t ~pcid:1);
+  check_int "pcid2 intact" 1 (Hw.Tlb.entries_for t ~pcid:2);
+  Hw.Tlb.flush_all t;
+  check_int "all empty" 0 (Hw.Tlb.size t)
+
+let test_tlb_capacity () =
+  let t = Hw.Tlb.create ~capacity:8 () in
+  for i = 0 to 63 do
+    Hw.Tlb.insert t ~pcid:1 ~va:(i * 4096) (entry i)
+  done;
+  check_bool "bounded" true (Hw.Tlb.size t <= 8)
+
+let test_tlb_huge_entry () =
+  let t = Hw.Tlb.create () in
+  Hw.Tlb.insert t ~pcid:1 ~va:0x40000000 { Hw.Tlb.pfn = 99; flags = Hw.Pte.default_flags; level = 2 };
+  (match Hw.Tlb.lookup t ~pcid:1 (0x40000000 + (17 * 4096)) with
+  | Some e -> check_int "huge covers 2M" 99 e.Hw.Tlb.pfn
+  | None -> fail "expected huge hit")
+
+(* ------------------------------- Pks ------------------------------ *)
+
+let test_pks_make_perm () =
+  let r = Hw.Pks.make [ (1, Hw.Pks.No_access); (2, Hw.Pks.Read_only) ] in
+  check_bool "key0 rw" true (Hw.Pks.perm_of r ~key:0 = Hw.Pks.Read_write);
+  check_bool "key1 none" true (Hw.Pks.perm_of r ~key:1 = Hw.Pks.No_access);
+  check_bool "key2 ro" true (Hw.Pks.perm_of r ~key:2 = Hw.Pks.Read_only);
+  check_bool "all access is zero" true (Hw.Pks.all_access = 0)
+
+let test_pks_allows () =
+  let r = Hw.Pks.pkrs_guest in
+  check_bool "guest reads own pages" true (Hw.Pks.allows r ~key:Hw.Pks.pkey_guest Hw.Pks.Read);
+  check_bool "guest writes own pages" true (Hw.Pks.allows r ~key:Hw.Pks.pkey_guest Hw.Pks.Write);
+  check_bool "guest reads PTPs" true (Hw.Pks.allows r ~key:Hw.Pks.pkey_ptp Hw.Pks.Read);
+  check_bool "guest cannot write PTPs" false (Hw.Pks.allows r ~key:Hw.Pks.pkey_ptp Hw.Pks.Write);
+  check_bool "guest cannot read KSM" false (Hw.Pks.allows r ~key:Hw.Pks.pkey_ksm Hw.Pks.Read);
+  check_bool "ksm rights unrestricted" true
+    (Hw.Pks.allows Hw.Pks.pkrs_ksm ~key:Hw.Pks.pkey_ksm Hw.Pks.Write)
+
+let prop_pks_roundtrip =
+  QCheck.Test.make ~name:"pks make/perm_of roundtrip" ~count:200
+    QCheck.(pair (int_bound 15) (int_bound 2))
+    (fun (key, p) ->
+      let perm = match p with 0 -> Hw.Pks.Read_write | 1 -> Hw.Pks.Read_only | _ -> Hw.Pks.No_access in
+      let r = Hw.Pks.make [ (key, perm) ] in
+      Hw.Pks.perm_of r ~key = perm)
+
+(* ------------------------------ Priv ------------------------------ *)
+
+let test_priv_policy_matches_table3 () =
+  (* Spot-check the policy rows of Table 3. *)
+  let blocked = Hw.Priv.blocked_in_guest in
+  check_bool "lidt blocked" true (blocked Hw.Priv.Lidt);
+  check_bool "wrmsr blocked" true (blocked (Hw.Priv.Wrmsr 0));
+  check_bool "read cr harmless" false (blocked (Hw.Priv.Mov_from_cr 0));
+  check_bool "mov cr3 blocked" true (blocked Hw.Priv.Mov_to_cr3);
+  check_bool "clac allowed" false (blocked Hw.Priv.Clac);
+  check_bool "invlpg allowed" false (blocked (Hw.Priv.Invlpg 0));
+  check_bool "invpcid blocked" true (blocked Hw.Priv.Invpcid);
+  check_bool "swapgs allowed" false (blocked Hw.Priv.Swapgs);
+  check_bool "sysret allowed" false (blocked Hw.Priv.Sysret);
+  check_bool "iret blocked" true (blocked Hw.Priv.Iret);
+  check_bool "hlt allowed" false (blocked Hw.Priv.Hlt);
+  check_bool "cli blocked" true (blocked Hw.Priv.Cli);
+  check_bool "out blocked" true (blocked (Hw.Priv.Out_port 0));
+  check_bool "wrpkrs allowed" false (blocked (Hw.Priv.Wrpkrs 0))
+
+let test_priv_virtualization_consistency () =
+  (* Every blocked instruction must be virtualized by some non-native
+     mechanism; allowed ones are Native (or unused). *)
+  List.iter
+    (fun inst ->
+      let v = Hw.Priv.virtualized_as inst in
+      if Hw.Priv.blocked_in_guest inst then
+        check_bool (Hw.Priv.mnemonic inst ^ " has replacement") true (v <> Hw.Priv.Native)
+      else
+        check_bool (Hw.Priv.mnemonic inst ^ " stays native") true
+          (v = Hw.Priv.Native || v = Hw.Priv.Hypercall (* hlt pauses via hypercall *)))
+    Hw.Priv.all_examples
+
+(* ------------------------------- Cpu ------------------------------ *)
+
+let mk_cpu () = Hw.Cpu.create (Hw.Clock.create ())
+
+let test_cpu_blocks_in_guest () =
+  let cpu = mk_cpu () in
+  List.iter
+    (fun inst ->
+      (* reset per instruction: sysret drops to user mode *)
+      cpu.Hw.Cpu.mode <- Hw.Cpu.Kernel;
+      cpu.Hw.Cpu.pkrs <- Hw.Pks.pkrs_guest;
+      match Hw.Cpu.exec_priv cpu inst with
+      | Error (Hw.Cpu.Blocked_instruction _) ->
+          check_bool (Hw.Priv.mnemonic inst) true (Hw.Priv.blocked_in_guest inst)
+      | Ok () -> check_bool (Hw.Priv.mnemonic inst) false (Hw.Priv.blocked_in_guest inst)
+      | Error e -> fail (Hw.Cpu.show_fault e))
+    Hw.Priv.all_examples
+
+let test_cpu_monitor_mode_unrestricted () =
+  let cpu = mk_cpu () in
+  List.iter
+    (fun inst ->
+      cpu.Hw.Cpu.mode <- Hw.Cpu.Kernel;
+      cpu.Hw.Cpu.pkrs <- Hw.Pks.all_access;
+      match Hw.Cpu.exec_priv cpu inst with
+      | Ok () -> ()
+      | Error e -> fail (Hw.Priv.mnemonic inst ^ ": " ^ Hw.Cpu.show_fault e))
+    Hw.Priv.all_examples
+
+let test_cpu_user_mode_faults () =
+  let cpu = mk_cpu () in
+  cpu.Hw.Cpu.mode <- Hw.Cpu.User;
+  match Hw.Cpu.exec_priv cpu Hw.Priv.Hlt with
+  | Error (Hw.Cpu.Not_kernel_mode _) -> ()
+  | _ -> fail "expected ring-3 #GP"
+
+let test_cpu_wrpkrs_swapgs () =
+  let cpu = mk_cpu () in
+  Hw.Cpu.exec_priv_exn cpu (Hw.Priv.Wrpkrs Hw.Pks.pkrs_guest);
+  check_int "pkrs written" Hw.Pks.pkrs_guest cpu.Hw.Cpu.pkrs;
+  cpu.Hw.Cpu.gs_base <- 1;
+  cpu.Hw.Cpu.kernel_gs_base <- 2;
+  Hw.Cpu.exec_priv_exn cpu Hw.Priv.Swapgs;
+  check_int "gs swapped" 2 cpu.Hw.Cpu.gs_base;
+  check_int "kernel_gs swapped" 1 cpu.Hw.Cpu.kernel_gs_base
+
+let test_cpu_sysret_if_pinning () =
+  let cpu = mk_cpu () in
+  (* Native kernel (pkrs=0) may sysret with IF=0. *)
+  cpu.Hw.Cpu.if_flag <- false;
+  Hw.Cpu.exec_priv_exn cpu Hw.Priv.Sysret;
+  check_bool "native keeps IF" false cpu.Hw.Cpu.if_flag;
+  (* Guest kernel (pkrs!=0): IF forced on (extension E3). *)
+  cpu.Hw.Cpu.mode <- Hw.Cpu.Kernel;
+  cpu.Hw.Cpu.pkrs <- Hw.Pks.pkrs_guest;
+  cpu.Hw.Cpu.if_flag <- false;
+  Hw.Cpu.exec_priv_exn cpu Hw.Priv.Sysret;
+  check_bool "guest IF pinned on" true cpu.Hw.Cpu.if_flag;
+  check_bool "in user mode" true (cpu.Hw.Cpu.mode = Hw.Cpu.User)
+
+let test_cpu_iret_restores_pkrs () =
+  let cpu = mk_cpu () in
+  cpu.Hw.Cpu.pkrs <- Hw.Pks.pkrs_guest;
+  Hw.Cpu.hw_interrupt_entry cpu ~pks_switch:true;
+  check_int "pkrs zeroed on hw intr" Hw.Pks.all_access cpu.Hw.Cpu.pkrs;
+  check_bool "IF off in handler" false cpu.Hw.Cpu.if_flag;
+  Hw.Cpu.exec_priv_exn cpu Hw.Priv.Iret;
+  check_int "pkrs restored" Hw.Pks.pkrs_guest cpu.Hw.Cpu.pkrs
+
+let test_cpu_access_checks () =
+  let clock = Hw.Clock.create () in
+  let cpu = Hw.Cpu.create clock in
+  let m = Hw.Phys_mem.create ~frames:4096 in
+  let pt = Hw.Page_table.create m ~owner:Hw.Phys_mem.Host in
+  ignore
+    (Hw.Page_table.map pt ~va:0x1000 ~pfn:10
+       ~flags:{ Hw.Pte.default_flags with user = true } ());
+  ignore
+    (Hw.Page_table.map pt ~va:0x2000 ~pfn:11
+       ~flags:{ Hw.Pte.default_flags with user = false; pkey = Hw.Pks.pkey_ksm } ());
+  (* user mode reads user page *)
+  cpu.Hw.Cpu.mode <- Hw.Cpu.User;
+  (match Hw.Cpu.access cpu pt ~va:0x1234 ~access_kind:Hw.Pks.Read () with
+  | Ok pa -> check_int "user pa" ((10 * 4096) lor 0x234) pa
+  | Error e -> fail (Hw.Cpu.show_fault e));
+  (* user mode cannot touch supervisor page *)
+  (match Hw.Cpu.access cpu pt ~va:0x2000 ~access_kind:Hw.Pks.Read () with
+  | Error (Hw.Cpu.Priv_page_violation _) -> ()
+  | _ -> fail "expected U/K violation");
+  (* guest kernel (pkrs_guest) cannot touch pkey_ksm page *)
+  cpu.Hw.Cpu.mode <- Hw.Cpu.Kernel;
+  cpu.Hw.Cpu.pkrs <- Hw.Pks.pkrs_guest;
+  (match Hw.Cpu.access cpu pt ~va:0x2000 ~access_kind:Hw.Pks.Read () with
+  | Error (Hw.Cpu.Pks_violation { key; _ }) -> check_int "ksm key" Hw.Pks.pkey_ksm key
+  | _ -> fail "expected PKS violation");
+  (* monitor rights pass *)
+  cpu.Hw.Cpu.pkrs <- Hw.Pks.all_access;
+  (match Hw.Cpu.access cpu pt ~va:0x2000 ~access_kind:Hw.Pks.Write () with
+  | Ok _ -> ()
+  | Error e -> fail (Hw.Cpu.show_fault e));
+  (* unmapped *)
+  match Hw.Cpu.access cpu pt ~va:0x999000 ~access_kind:Hw.Pks.Read () with
+  | Error (Hw.Cpu.Not_present _) -> ()
+  | _ -> fail "expected not present"
+
+let test_cpu_access_uses_tlb () =
+  let clock = Hw.Clock.create () in
+  let cpu = Hw.Cpu.create clock in
+  let m = Hw.Phys_mem.create ~frames:4096 in
+  let pt = Hw.Page_table.create m ~owner:Hw.Phys_mem.Host in
+  ignore (Hw.Page_table.map pt ~va:0x1000 ~pfn:10 ~flags:{ Hw.Pte.default_flags with user = true } ());
+  ignore (Hw.Cpu.access cpu pt ~va:0x1000 ~access_kind:Hw.Pks.Read ());
+  let walks = Hw.Clock.occurrences clock "tlb_miss_walk" in
+  ignore (Hw.Cpu.access cpu pt ~va:0x1000 ~access_kind:Hw.Pks.Read ());
+  check_int "second access: no extra walk" walks (Hw.Clock.occurrences clock "tlb_miss_walk");
+  check_bool "tlb hit recorded" true (Hw.Clock.occurrences clock "tlb_hit" >= 1)
+
+(* ------------------------------- Idt ------------------------------ *)
+
+let test_idt_lock () =
+  let idt = Hw.Idt.create () in
+  Hw.Idt.set idt
+    { Hw.Idt.vector = 32; handler = "h"; ist = Some 1; pks_switch = true; user_invocable = false };
+  check_bool "installed" true (Hw.Idt.get idt 32 <> None);
+  Hw.Idt.lock idt;
+  check_raises "locked" (Invalid_argument "Idt.set: IDT locked") (fun () ->
+      Hw.Idt.set idt
+        { Hw.Idt.vector = 33; handler = "x"; ist = None; pks_switch = false; user_invocable = false })
+
+let test_idt_delivery_pks_switch () =
+  let idt = Hw.Idt.create () in
+  Hw.Idt.set idt
+    { Hw.Idt.vector = 32; handler = "gate"; ist = Some 1; pks_switch = true; user_invocable = false };
+  let cpu = mk_cpu () in
+  cpu.Hw.Cpu.pkrs <- Hw.Pks.pkrs_guest;
+  ignore (Hw.Idt.deliver idt cpu ~kind:Hw.Idt.Hardware 32);
+  check_int "hardware delivery zeroes pkrs" Hw.Pks.all_access cpu.Hw.Cpu.pkrs;
+  (* Software int leaves PKRS alone — the anti-forgery property. *)
+  let cpu2 = mk_cpu () in
+  cpu2.Hw.Cpu.pkrs <- Hw.Pks.pkrs_guest;
+  ignore (Hw.Idt.deliver idt cpu2 ~kind:Hw.Idt.Software 32);
+  check_int "software int keeps pkrs" Hw.Pks.pkrs_guest cpu2.Hw.Cpu.pkrs
+
+(* ------------------------------- Ept ------------------------------ *)
+
+let test_ept_map_translate () =
+  let m = Hw.Phys_mem.create ~frames:4096 in
+  let ept = Hw.Ept.create m ~huge:false in
+  Hw.Ept.map ept ~gfn:5 ~hfn:500;
+  check_int "translate" ((500 * 4096) lor 0x123) (Hw.Ept.translate ept ((5 * 4096) lor 0x123));
+  (match Hw.Ept.translate ept (99 * 4096) with
+  | exception Hw.Ept.Ept_violation { gpa } -> check_int "violation gpa" (99 * 4096) gpa
+  | _ -> fail "expected EPT violation");
+  check_int "violations counted" 1 (Hw.Ept.violations ept);
+  check_int "2d walk refs" 24 (Hw.Ept.walk_refs ept)
+
+let test_ept_huge () =
+  let m = Hw.Phys_mem.create ~frames:4096 in
+  let ept = Hw.Ept.create m ~huge:true in
+  Hw.Ept.map_huge ept ~gfn:512 ~hfn:1024;
+  check_int "huge translate" ((1024 * 4096) + (5 * 4096)) (Hw.Ept.translate ept ((517 * 4096)));
+  check_int "huge walk refs" 15 (Hw.Ept.walk_refs ept)
+
+(* ------------------------------ Vmcs ------------------------------ *)
+
+let test_vmcs_exits () =
+  let clock = Hw.Clock.create () in
+  let v = Hw.Vmcs.create ~id:1 ~nested:false in
+  let c1 = Hw.Vmcs.vm_exit v clock Hw.Vmcs.Hypercall in
+  check_bool "bm cost" true (c1 = Hw.Cost.vmexit_bm);
+  let vn = Hw.Vmcs.create ~id:2 ~nested:true in
+  let c2 = Hw.Vmcs.vm_exit vn clock (Hw.Vmcs.Ept_violation 0) in
+  check_bool "nested costlier" true (c2 > c1);
+  check_int "exit count" 1 (Hw.Vmcs.exits v);
+  check_int "by reason" 1 (Hw.Vmcs.exits_for vn "ept_violation")
+
+(* ------------------------------ Clock ----------------------------- *)
+
+let test_clock_accounting () =
+  let c = Hw.Clock.create () in
+  Hw.Clock.charge c "x" 10.0;
+  Hw.Clock.charge c "x" 5.0;
+  Hw.Clock.advance c 2.0;
+  check_bool "now" true (Hw.Clock.now c = 17.0);
+  check_int "occurrences" 2 (Hw.Clock.occurrences c "x");
+  check_bool "spent" true (Hw.Clock.spent_on c "x" = 15.0);
+  let (), d = Hw.Clock.timed c (fun () -> Hw.Clock.charge c "y" 3.0) in
+  check_bool "timed" true (d = 3.0);
+  Hw.Clock.reset c;
+  check_bool "reset" true (Hw.Clock.now c = 0.0 && Hw.Clock.occurrences c "x" = 0)
+
+(* ---------------------------- Machine ----------------------------- *)
+
+let test_machine_irq_queue () =
+  let m = Hw.Machine.create ~cpus:2 ~mem_mib:1 () in
+  check_bool "no pending" false (Hw.Machine.has_pending m ~cpu:0);
+  Hw.Machine.raise_irq m ~cpu:0 ~vector:32;
+  Hw.Machine.raise_irq m ~cpu:1 ~vector:33;
+  Hw.Machine.raise_irq m ~cpu:0 ~vector:34;
+  check_bool "pending" true (Hw.Machine.has_pending m ~cpu:0);
+  check_bool "fifo per cpu" true (Hw.Machine.take_irq m ~cpu:0 = Some 32);
+  check_bool "next" true (Hw.Machine.take_irq m ~cpu:0 = Some 34);
+  check_bool "drained" true (Hw.Machine.take_irq m ~cpu:0 = None);
+  check_bool "cpu1 intact" true (Hw.Machine.take_irq m ~cpu:1 = Some 33);
+  let p1 = Hw.Machine.fresh_pcid m in
+  let p2 = Hw.Machine.fresh_pcid m in
+  check_bool "pcids distinct" true (p1 <> p2)
+
+let suite =
+  [
+    ( "hw/tlb",
+      [
+        test_case "hit/miss" `Quick test_tlb_hit_miss;
+        test_case "PCID isolation (invlpg)" `Quick test_tlb_pcid_isolation;
+        test_case "flush pcid / all" `Quick test_tlb_flush_pcid;
+        test_case "capacity bound" `Quick test_tlb_capacity;
+        test_case "2 MiB entries" `Quick test_tlb_huge_entry;
+      ] );
+    ( "hw/pks",
+      [
+        test_case "make/perm_of" `Quick test_pks_make_perm;
+        test_case "allows + CKI layout" `Quick test_pks_allows;
+        QCheck_alcotest.to_alcotest prop_pks_roundtrip;
+      ] );
+    ( "hw/priv",
+      [
+        test_case "Table 3 policy" `Quick test_priv_policy_matches_table3;
+        test_case "virtualization consistency" `Quick test_priv_virtualization_consistency;
+      ] );
+    ( "hw/cpu",
+      [
+        test_case "blocks destructive insns in guest" `Quick test_cpu_blocks_in_guest;
+        test_case "monitor mode unrestricted" `Quick test_cpu_monitor_mode_unrestricted;
+        test_case "ring-3 #GP" `Quick test_cpu_user_mode_faults;
+        test_case "wrpkrs + swapgs" `Quick test_cpu_wrpkrs_swapgs;
+        test_case "sysret IF pinning (E3)" `Quick test_cpu_sysret_if_pinning;
+        test_case "iret restores PKRS (E4)" `Quick test_cpu_iret_restores_pkrs;
+        test_case "access permission checks" `Quick test_cpu_access_checks;
+        test_case "access consults TLB" `Quick test_cpu_access_uses_tlb;
+      ] );
+    ( "hw/idt",
+      [
+        test_case "set/lock" `Quick test_idt_lock;
+        test_case "PKS switch on hardware delivery only" `Quick test_idt_delivery_pks_switch;
+      ] );
+    ( "hw/ept",
+      [
+        test_case "map/translate/violation" `Quick test_ept_map_translate;
+        test_case "huge mappings" `Quick test_ept_huge;
+      ] );
+    ("hw/vmcs", [ test_case "exit accounting" `Quick test_vmcs_exits ]);
+    ("hw/clock", [ test_case "accounting" `Quick test_clock_accounting ]);
+    ("hw/machine", [ test_case "irq queue + pcids" `Quick test_machine_irq_queue ]);
+  ]

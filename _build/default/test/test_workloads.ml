@@ -1,0 +1,274 @@
+(* Tests for the workload models: functional correctness of the data
+   structures (B-tree, SQLite engine, KV store) and the structural
+   properties the paper's results depend on. *)
+
+open Alcotest
+
+let check_int = check int
+let check_bool = check bool
+
+let runc () = Virt.Runc.create (Hw.Machine.create ~cpus:1 ~mem_mib:128 ())
+let pvm () = Virt.Pvm.create (Hw.Machine.create ~cpus:1 ~mem_mib:128 ())
+let cki () = Cki.Container.backend (Cki.Container.create_standalone ~mem_mib:128 ())
+
+(* ------------------------------ BTree ------------------------------ *)
+
+let test_btree_insert_lookup () =
+  let b = runc () in
+  let task = Virt.Backend.spawn b in
+  let t = Workloads.Btree.create b task in
+  for i = 1 to 2000 do
+    Workloads.Btree.insert t (i * 37 mod 4096) i
+  done;
+  check_bool "found" true (Workloads.Btree.lookup t (37 mod 4096) <> None);
+  check_bool "missing" true (Workloads.Btree.lookup t 4095 = None || true);
+  check_int "size" 2000 (Workloads.Btree.size t)
+
+let prop_btree_matches_hashtbl =
+  QCheck.Test.make ~name:"btree agrees with Hashtbl" ~count:20
+    QCheck.(small_list (pair (int_bound 1000) (int_bound 10000)))
+    (fun kvs ->
+      let b = runc () in
+      let task = Virt.Backend.spawn b in
+      let t = Workloads.Btree.create b task in
+      let h = Hashtbl.create 64 in
+      List.iter
+        (fun (k, v) ->
+          Workloads.Btree.insert t k v;
+          Hashtbl.replace h k v)
+        kvs;
+      Hashtbl.fold (fun k v acc -> acc && Workloads.Btree.lookup t k = Some v) h true
+      && List.for_all
+           (fun k -> Workloads.Btree.lookup t k = None)
+           (List.filter (fun k -> not (Hashtbl.mem h k)) [ 1001; 1500; 9999 ]))
+
+let test_btree_insert_causes_faults () =
+  let b = runc () in
+  let task = Virt.Backend.spawn b in
+  let t = Workloads.Btree.create b task in
+  for i = 1 to 5000 do
+    Workloads.Btree.insert t i i
+  done;
+  (* 5000 inserts x 256B >= 312 pages of value storage *)
+  check_bool "plenty of demand faults" true (Kernel_model.Mm.fault_count task.Kernel_model.Task.mm > 300)
+
+let test_btree_ratio_dilutes_overhead () =
+  (* More lookups per insert -> lower fault density -> lower PVM
+     overhead (the Figure 13a trend). *)
+  let overhead ratio =
+    let base = Workloads.Btree.run_ratio (runc ()) ~total_ops:8_000 ~lookup_per_insert:ratio in
+    let v = Workloads.Btree.run_ratio (pvm ()) ~total_ops:8_000 ~lookup_per_insert:ratio in
+    v /. base
+  in
+  check_bool "overhead decreases with ratio" true (overhead 1 > overhead 8)
+
+(* ------------------------------ Arena ------------------------------ *)
+
+let test_arena_fault_density () =
+  let b = runc () in
+  let task = Virt.Backend.spawn b in
+  let arena = Workloads.Profile.Arena.create b task in
+  let f0 = Kernel_model.Mm.fault_count task.Kernel_model.Task.mm in
+  for _ = 1 to 64 do
+    Workloads.Profile.Arena.alloc arena 1024
+  done;
+  (* 64 KiB allocated -> exactly 16 pages touched *)
+  check_int "one fault per page crossed" 16 (Kernel_model.Mm.fault_count task.Kernel_model.Task.mm - f0);
+  check_int "bytes accounted" 65536 (Workloads.Profile.Arena.allocated_bytes arena)
+
+let test_rng_determinism () =
+  let a = Workloads.Profile.Rng.create () in
+  let b = Workloads.Profile.Rng.create () in
+  let xs = List.init 20 (fun _ -> Workloads.Profile.Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Workloads.Profile.Rng.int b 1000) in
+  check_bool "deterministic" true (xs = ys);
+  check_bool "in range" true (List.for_all (fun x -> x >= 0 && x < 1000) xs)
+
+(* ------------------------------ GUPS ------------------------------- *)
+
+let test_gups_walk_geometry () =
+  let r_native = Workloads.Gups.run_gups (runc ()) ~table_pages:50_000 ~updates:50_000 () in
+  let r_hvm =
+    Workloads.Gups.run_gups
+      (Virt.Hvm.create (Hw.Machine.create ~cpus:1 ~mem_mib:64 ()))
+      ~table_pages:50_000 ~updates:50_000 ()
+  in
+  let r_cki = Workloads.Gups.run_gups (cki ()) ~table_pages:50_000 ~updates:50_000 () in
+  check_bool "most accesses miss" true (r_native.Workloads.Gups.tlb_miss_rate > 0.9);
+  check_bool "2D walk slower" true (r_hvm.Workloads.Gups.total_ns > r_native.Workloads.Gups.total_ns);
+  (* CKI uses single-stage translation: same as native. *)
+  check_bool "CKI = native walk" true
+    (Float.abs (r_cki.Workloads.Gups.total_ns -. r_native.Workloads.Gups.total_ns)
+    /. r_native.Workloads.Gups.total_ns
+    < 0.01)
+
+(* ----------------------------- SQLite ------------------------------ *)
+
+let test_sqlite_engine_roundtrip () =
+  let b = runc () in
+  let db = Workloads.Sqlite.open_db b ~name:"t" in
+  Workloads.Sqlite.txn_begin db;
+  for i = 1 to 100 do
+    Workloads.Sqlite.insert db ~key:i
+  done;
+  Workloads.Sqlite.txn_commit db;
+  check_bool "read hit" true (Workloads.Sqlite.read db ~key:50);
+  check_bool "read miss" false (Workloads.Sqlite.read db ~key:500)
+
+let test_sqlite_batch_reduces_syscalls () =
+  let r1 = Workloads.Sqlite.run_pattern (runc ()) Workloads.Sqlite.Fillseq ~ops:500 in
+  let r2 = Workloads.Sqlite.run_pattern (runc ()) Workloads.Sqlite.Fillseqbatch ~ops:500 in
+  check_bool "batch lowers syscalls/op" true
+    (r2.Workloads.Sqlite.syscalls_per_op < r1.Workloads.Sqlite.syscalls_per_op /. 2.0);
+  let r3 = Workloads.Sqlite.run_pattern (runc ()) Workloads.Sqlite.Readrandom ~ops:500 in
+  check_bool "reads are syscall-light" true
+    (r3.Workloads.Sqlite.syscalls_per_op < 1.0)
+
+let test_sqlite_pvm_overhead_on_writes_only () =
+  let ops = 800 in
+  let tp backend p = (Workloads.Sqlite.run_pattern backend p ~ops).Workloads.Sqlite.ops_per_sec in
+  let w_loss =
+    1.0 -. (tp (pvm ()) Workloads.Sqlite.Fillseq /. tp (runc ()) Workloads.Sqlite.Fillseq)
+  in
+  let r_loss =
+    1.0 -. (tp (pvm ()) Workloads.Sqlite.Readrandom /. tp (runc ()) Workloads.Sqlite.Readrandom)
+  in
+  check_bool "PVM write loss is 15-40%" true (w_loss > 0.15 && w_loss < 0.40);
+  check_bool "PVM read loss is < 5%" true (r_loss < 0.05);
+  let cki_loss =
+    1.0 -. (tp (cki ()) Workloads.Sqlite.Fillseq /. tp (runc ()) Workloads.Sqlite.Fillseq)
+  in
+  check_bool "CKI matches RunC" true (Float.abs cki_loss < 0.03)
+
+(* ------------------------------- KV -------------------------------- *)
+
+let test_kv_store_semantics () =
+  let b = runc () in
+  let srv = Workloads.Kv.create_server b Workloads.Kv.Memcached in
+  Workloads.Kv.serve_batch srv [ Workloads.Kv.Set 1; Workloads.Kv.Get 1; Workloads.Kv.Get 2 ];
+  check_int "requests served" 3 srv.Workloads.Kv.requests;
+  check_bool "key stored" true (Hashtbl.mem srv.Workloads.Kv.store 1);
+  check_bool "absent key" false (Hashtbl.mem srv.Workloads.Kv.store 2)
+
+let test_kv_throughput_ordering () =
+  let thr mk = Workloads.Kv.run_memtier (mk ()) ~flavor:Workloads.Kv.Memcached ~clients:32 ~requests:500 in
+  let t_cki = thr cki in
+  let t_pvm = thr pvm in
+  let t_hvm_nst = thr (fun () -> Virt.Hvm.create ~env:Virt.Env.Nested (Hw.Machine.create ~mem_mib:64 ())) in
+  check_bool "CKI > PVM" true (t_cki > t_pvm);
+  check_bool "PVM > HVM-NST" true (t_pvm > t_hvm_nst);
+  check_bool "CKI >= 3x HVM-NST" true (t_cki /. t_hvm_nst >= 3.0)
+
+let test_kv_throughput_rises_with_clients () =
+  let thr c = Workloads.Kv.run_memtier (cki ()) ~flavor:Workloads.Kv.Memcached ~clients:c ~requests:400 in
+  let t4 = thr 4 and t64 = thr 64 in
+  check_bool "more clients, more throughput" true (t64 > t4)
+
+(* ----------------------------- lmbench ----------------------------- *)
+
+let test_lmbench_pvm_redirection_visible () =
+  let suite_runc = Workloads.Lmbench.run_suite ~iters:40 (runc ()) in
+  let suite_pvm = Workloads.Lmbench.run_suite ~iters:40 (pvm ()) in
+  let suite_cki = Workloads.Lmbench.run_suite ~iters:40 (cki ()) in
+  let get s op = List.assoc op s in
+  (* PVM roughly doubles a 1-byte read (paper Section 7.1). *)
+  let ratio = get suite_pvm Workloads.Lmbench.Read /. get suite_runc Workloads.Lmbench.Read in
+  check_bool "PVM read ~2x native" true (ratio > 1.7 && ratio < 2.6);
+  (* CKI stays within a few percent of RunC on every op. *)
+  List.iter
+    (fun op ->
+      let r = get suite_cki op /. get suite_runc op in
+      check_bool (Workloads.Lmbench.op_name op ^ " CKI close to RunC") true (r < 1.12))
+    Workloads.Lmbench.all_ops;
+  (* PVM is the slowest on every op (Figure 11's shape). *)
+  List.iter
+    (fun op ->
+      check_bool (Workloads.Lmbench.op_name op ^ " PVM worst") true
+        (get suite_pvm op >= get suite_runc op && get suite_pvm op >= get suite_cki op))
+    Workloads.Lmbench.all_ops
+
+(* ------------------------- Webserver/netperf ----------------------- *)
+
+let test_webserver_ordering () =
+  let thr mk kind = Workloads.Webserver.run (mk ()) kind ~requests:300 in
+  let static_runc = thr runc Workloads.Webserver.Nginx_static in
+  let static_pvm = thr pvm Workloads.Webserver.Nginx_static in
+  let proxy_pvm = thr pvm Workloads.Webserver.Nginx_proxy in
+  check_bool "RunC fastest" true (static_runc > static_pvm);
+  check_bool "proxy slower than static" true (static_pvm > proxy_pvm)
+
+let test_netperf_rr_exit_sensitivity () =
+  let rr mk = Workloads.Netperf.run_rr (mk ()) ~transactions:300 in
+  let r_cki = rr cki in
+  let r_hvm_nst = rr (fun () -> Virt.Hvm.create ~env:Virt.Env.Nested (Hw.Machine.create ~mem_mib:64 ())) in
+  check_bool "RR collapses under nested exits" true (r_cki /. r_hvm_nst > 4.0)
+
+(* ------------------------------ Report ----------------------------- *)
+
+let test_stats_helpers () =
+  check_bool "mean" true (Report.Stats.mean [ 1.0; 2.0; 3.0 ] = 2.0);
+  check_bool "geomean" true (Float.abs (Report.Stats.geomean [ 1.0; 4.0 ] -. 2.0) < 1e-9);
+  check_bool "overhead" true (Report.Stats.overhead_pct ~baseline:100.0 150.0 = 50.0);
+  check_bool "reduction" true (Report.Stats.reduction_pct ~from_:100.0 ~to_:28.0 = 72.0);
+  check_bool "normalize" true (Report.Stats.normalize ~baseline:2.0 [ 2.0; 4.0 ] = [ 1.0; 2.0 ])
+
+let test_table_render () =
+  let t = Report.Table.create ~title:"t" ~header:[ "a"; "bb" ] in
+  Report.Table.add_row t [ "x"; "y" ];
+  Report.Table.add_floats t ~label:"z" [ 1.5 ];
+  let s = Report.Table.render t in
+  check_bool "title" true (String.length s > 0);
+  check_bool "contains row" true (String.length s - String.length (String.concat "" (String.split_on_char 'x' s)) >= 0)
+
+let test_figure_render () =
+  let s =
+    Report.Figure.grouped_bars ~title:"f" ~value_label:"v"
+      ~groups:[ ("g", [ ("a", 1.0); ("b", 0.5) ]) ]
+  in
+  check_bool "bars" true (String.contains s '#');
+  let s2 =
+    Report.Figure.series ~title:"s" ~x_label:"x" ~y_label:"y" ~xs:[ 1.0; 2.0 ]
+      ~series:[ ("a", [ 1.0; 2.0 ]) ]
+  in
+  check_bool "series" true (String.length s2 > 0)
+
+let suite =
+  [
+    ( "workloads/btree",
+      [
+        test_case "insert/lookup" `Quick test_btree_insert_lookup;
+        QCheck_alcotest.to_alcotest prop_btree_matches_hashtbl;
+        test_case "inserts cause demand faults" `Quick test_btree_insert_causes_faults;
+        test_case "lookup ratio dilutes overhead" `Quick test_btree_ratio_dilutes_overhead;
+      ] );
+    ( "workloads/profile",
+      [
+        test_case "arena fault density" `Quick test_arena_fault_density;
+        test_case "rng determinism" `Quick test_rng_determinism;
+      ] );
+    ("workloads/gups", [ test_case "walk geometry" `Quick test_gups_walk_geometry ]);
+    ( "workloads/sqlite",
+      [
+        test_case "engine roundtrip" `Quick test_sqlite_engine_roundtrip;
+        test_case "batching reduces syscalls" `Quick test_sqlite_batch_reduces_syscalls;
+        test_case "PVM overhead writes-only" `Quick test_sqlite_pvm_overhead_on_writes_only;
+      ] );
+    ( "workloads/kv",
+      [
+        test_case "store semantics" `Quick test_kv_store_semantics;
+        test_case "throughput ordering" `Quick test_kv_throughput_ordering;
+        test_case "throughput rises with clients" `Quick test_kv_throughput_rises_with_clients;
+      ] );
+    ("workloads/lmbench", [ test_case "redirection visible, CKI near-native" `Slow test_lmbench_pvm_redirection_visible ]);
+    ( "workloads/io",
+      [
+        test_case "webserver ordering" `Quick test_webserver_ordering;
+        test_case "netperf RR exit sensitivity" `Quick test_netperf_rr_exit_sensitivity;
+      ] );
+    ( "report",
+      [
+        test_case "stats helpers" `Quick test_stats_helpers;
+        test_case "table render" `Quick test_table_render;
+        test_case "figure render" `Quick test_figure_render;
+      ] );
+  ]
