@@ -1,0 +1,27 @@
+.PHONY: all build test check examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test: build
+	dune runtest
+
+# Full verification: build, test suite, then every example scenario and
+# the demo subcommands under --check (whole-machine invariant scan +
+# probe-trace lint; any finding is a non-zero exit).
+check: test examples
+	dune exec bin/cki_demo.exe -- micro --check
+	dune exec bin/cki_demo.exe -- attack --check
+	dune exec bin/cki_demo.exe -- kv --check --clients 8
+
+examples: build
+	dune exec examples/quickstart.exe
+	dune exec examples/security_attacks.exe
+	dune exec examples/nested_cloud.exe
+	dune exec examples/sqlite_tmpfs.exe
+	dune exec examples/kv_serving.exe
+
+clean:
+	dune clean

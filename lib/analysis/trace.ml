@@ -1,0 +1,35 @@
+(* Bounded event recorder: a queue with drop-oldest overflow. *)
+
+type t = {
+  capacity : int;
+  q : Hw.Probe.event Queue.t;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; q = Queue.create (); dropped = 0 }
+
+let record t ev =
+  if Queue.length t.q >= t.capacity then begin
+    ignore (Queue.pop t.q);
+    t.dropped <- t.dropped + 1
+  end;
+  Queue.add ev t.q
+
+let attach t = Hw.Probe.set_sink (record t)
+let detach () = Hw.Probe.clear_sink ()
+let events t = List.of_seq (Queue.to_seq t.q)
+let length t = Queue.length t.q
+let dropped t = t.dropped
+
+let clear t =
+  Queue.clear t.q;
+  t.dropped <- 0
+
+let with_recorder ?capacity f =
+  let t = create ?capacity () in
+  attach t;
+  Fun.protect ~finally:detach (fun () ->
+      let r = f () in
+      (r, t))

@@ -186,6 +186,7 @@ let create ?(env = Virt.Env.Bare_metal) ?(cfg = Config.default) (host : Host.t) 
     { backend; host; ksm; gates; cpus; buddy; cfg; container_id; pcid; current_vcpu = 0; aspaces }
   in
   t_ref := Some t;
+  if Hw.Probe.active () then Hw.Probe.emit (Hw.Probe.Container_boot { container = container_id; pcid });
   t
 
 (* Convenience: build a host + container in one step (examples). *)

@@ -45,14 +45,27 @@ let switch_pks (cpu : Hw.Cpu.t) ~target ?tamper () : (unit, error) result =
    attacker reaching either wrpkrs with a chosen register value; the
    interesting attack is ROP-ing to the *exit* wrpkrs with a permissive
    value, which the post-write check catches. *)
+(* Probe hooks: each gate emits an enter/exit event pair so the trace
+   linter can verify PKRS is restored on every path. *)
+let trace_enter (cpu : Hw.Cpu.t) gate ~pkrs =
+  if Hw.Probe.active () then
+    Hw.Probe.emit (Hw.Probe.Gate_enter { cpu = cpu.Hw.Cpu.id; gate; pkrs })
+
+let trace_exit (cpu : Hw.Cpu.t) gate ~entry_pkrs =
+  if Hw.Probe.active () then
+    Hw.Probe.emit
+      (Hw.Probe.Gate_exit { cpu = cpu.Hw.Cpu.id; gate; entry_pkrs; pkrs = cpu.Hw.Cpu.pkrs })
+
 let ksm_call (t : t) (cpu : Hw.Cpu.t) ~vcpu ?tamper_entry ?tamper_exit (f : unit -> 'a) :
     ('a, error) result =
   if cpu.Hw.Cpu.mode <> Hw.Cpu.Kernel then Error Not_kernel_mode
   else
     let saved = cpu.Hw.Cpu.pkrs in
+    trace_enter cpu Hw.Probe.Ksm_call_gate ~pkrs:saved;
     let abort e =
       if e = Pkrs_tamper_detected then t.tampers_blocked <- t.tampers_blocked + 1;
       cpu.Hw.Cpu.pkrs <- saved;
+      trace_exit cpu Hw.Probe.Ksm_call_gate ~entry_pkrs:saved;
       Error e
     in
     match switch_pks cpu ~target:Hw.Pks.all_access ?tamper:tamper_entry () with
@@ -66,7 +79,9 @@ let ksm_call (t : t) (cpu : Hw.Cpu.t) ~vcpu ?tamper_entry ?tamper_exit (f : unit
         let result = f () in
         Pervcpu.pop_stack area;
         (match switch_pks cpu ~target:saved ?tamper:tamper_exit () with
-        | Ok () -> Ok result
+        | Ok () ->
+            trace_exit cpu Hw.Probe.Ksm_call_gate ~entry_pkrs:saved;
+            Ok result
         | Error e -> abort e)
 
 (* Hypercall gate (Figure 8b, left): full exit to the host kernel. *)
@@ -77,8 +92,11 @@ let hypercall (t : t) (cpu : Hw.Cpu.t) ~vcpu ~(request : Kernel_model.Platform.i
     let guest_pkrs = cpu.Hw.Cpu.pkrs in
     let guest_cr3 = cpu.Hw.Cpu.cr3 in
     let guest_pcid = cpu.Hw.Cpu.pcid in
+    trace_enter cpu Hw.Probe.Hypercall_gate ~pkrs:guest_pkrs;
     match switch_pks cpu ~target:Hw.Pks.all_access () with
-    | Error e -> Error e
+    | Error e ->
+        trace_exit cpu Hw.Probe.Hypercall_gate ~entry_pkrs:guest_pkrs;
+        Error e
     | Ok () ->
         let area = Pervcpu.area (Ksm.pervcpu t.ksm) vcpu in
         area.Pervcpu.exit_reason <- Some (Pervcpu.Exit_hypercall request);
@@ -92,7 +110,9 @@ let hypercall (t : t) (cpu : Hw.Cpu.t) ~vcpu ~(request : Kernel_model.Platform.i
         cpu.Hw.Cpu.cr3 <- guest_cr3;
         cpu.Hw.Cpu.pcid <- guest_pcid;
         area.Pervcpu.exit_reason <- None;
-        (match switch_pks cpu ~target:guest_pkrs () with Ok () -> Ok () | Error e -> Error e)
+        let r = match switch_pks cpu ~target:guest_pkrs () with Ok () -> Ok () | Error e -> Error e in
+        trace_exit cpu Hw.Probe.Hypercall_gate ~entry_pkrs:guest_pkrs;
+        r
 
 (* Interrupt gate (Figure 8b, right).  [kind] is how control reached
    the gate: [Hardware] delivery applies extension E4 (PKRS saved and
@@ -102,10 +122,18 @@ let interrupt (t : t) (cpu : Hw.Cpu.t) ~vcpu ~vector ~(kind : Hw.Idt.delivery)
     (host_handler : int -> unit) : (unit, error) result =
   let entry = Hw.Idt.deliver (Ksm.idt t.ksm) cpu ~kind vector in
   ignore entry;
+  (* The value the extended iret must restore on exit: the PKRS the
+     hardware saved at delivery (top of the E4 stack), or — on a forged
+     software entry, where nothing was saved — the current rights. *)
+  let expected_pkrs =
+    match cpu.Hw.Cpu.saved_pkrs with r :: _ -> r | [] -> cpu.Hw.Cpu.pkrs
+  in
+  trace_enter cpu Hw.Probe.Interrupt_gate ~pkrs:expected_pkrs;
   (* First gate action: save IRQ info into the per-vCPU area.  With
      PKRS still at PKRS_GUEST (forged entry) this access faults. *)
   if not (Pervcpu.accessible_with ~pkrs:cpu.Hw.Cpu.pkrs) then begin
     t.forged_interrupts_blocked <- t.forged_interrupts_blocked + 1;
+    trace_exit cpu Hw.Probe.Interrupt_gate ~entry_pkrs:expected_pkrs;
     Error Forgery_detected
   end
   else begin
@@ -115,9 +143,13 @@ let interrupt (t : t) (cpu : Hw.Cpu.t) ~vcpu ~vector ~(kind : Hw.Idt.delivery)
     host_handler vector;
     area.Pervcpu.exit_reason <- None;
     (* iret with PKRS = 0 (allowed), restoring the saved PKRS (E4). *)
-    match Hw.Cpu.exec_priv cpu Hw.Priv.Iret with
-    | Ok () -> Ok ()
-    | Error _ -> Error Not_kernel_mode
+    let r =
+      match Hw.Cpu.exec_priv cpu Hw.Priv.Iret with
+      | Ok () -> Ok ()
+      | Error _ -> Error Not_kernel_mode
+    in
+    trace_exit cpu Hw.Probe.Interrupt_gate ~entry_pkrs:expected_pkrs;
+    r
   end
 
 let forged_blocked t = t.forged_interrupts_blocked

@@ -225,6 +225,22 @@ let charge_call t =
     Hw.Clock.charge t.clock "gate_ibrs" Hw.Cost.ibrs_overhead
   end
 
+(* Probe hooks: report each entry point's outcome, and every PTE
+   permission downgrade (the events the trace linter correlates with
+   TLB shootdowns). *)
+let traced t ~op (r : ('a, error) result) : ('a, error) result =
+  if Hw.Probe.active () then
+    Hw.Probe.emit
+      (Hw.Probe.Ksm_op
+         { container = t.container_id; op; ok = (match r with Ok _ -> true | Error _ -> false) });
+  r
+
+let trace_downgrade t ~root ~va ~unmapped =
+  if Hw.Probe.active () then
+    Hw.Probe.emit
+      (Hw.Probe.Pte_downgrade
+         { container = t.container_id; root; vpn = Hw.Addr.vpn_of_va va; unmapped })
+
 (* Find the direct-map leaf location of [pfn] so its pkey can be
    retagged; the direct map is KSM-built, so the walk is internal. *)
 let direct_map_leaf t pfn =
@@ -363,6 +379,7 @@ let guest_unmap t ~root ~va : (unit, error) result =
       if not (Hw.Pte.is_present e) then ()
       else if lvl = 1 || (lvl = 2 && Hw.Pte.is_huge e) then begin
         write_raw t ~pfn:table ~index:idx Hw.Pte.empty;
+        trace_downgrade t ~root ~va ~unmapped:true;
         if lvl = 4 then propagate_top t ~root ~idx Hw.Pte.empty
       end
       else go (lvl - 1) (Hw.Pte.pfn e)
@@ -380,8 +397,11 @@ let guest_protect t ~root ~va ~writable : (unit, error) result =
       let idx = Hw.Addr.index_at_level ~lvl va in
       let e = read_raw t ~pfn:table ~index:idx in
       if not (Hw.Pte.is_present e) then ()
-      else if lvl = 1 || (lvl = 2 && Hw.Pte.is_huge e) then
+      else if lvl = 1 || (lvl = 2 && Hw.Pte.is_huge e) then begin
+        if (not writable) && Hw.Pte.is_writable e then
+          trace_downgrade t ~root ~va ~unmapped:false;
         write_raw t ~pfn:table ~index:idx (Hw.Pte.with_writable e writable)
+      end
       else go (lvl - 1) (Hw.Pte.pfn e)
     in
     go 4 root;
@@ -473,9 +493,50 @@ let release_root t ~root ~free_ptp : (unit, error) result =
       (match undeclare_ptp t ~pfn:root with Ok () | Error _ -> ());
       Ok ()
 
+(* ------------------------------------------------------------------ *)
+(* Traced entry points (shadow the raw implementations above so every  *)
+(* guest-visible operation leaves a Ksm_op event in the trace).        *)
+(* ------------------------------------------------------------------ *)
+
+let declare_ptp t ~pfn ~level = traced t ~op:"declare_ptp" (declare_ptp t ~pfn ~level)
+let undeclare_ptp t ~pfn = traced t ~op:"undeclare_ptp" (undeclare_ptp t ~pfn)
+
+let guest_map t ~root ~va ~pfn ~flags ~alloc_ptp =
+  traced t ~op:"guest_map" (guest_map t ~root ~va ~pfn ~flags ~alloc_ptp)
+
+let guest_unmap t ~root ~va = traced t ~op:"guest_unmap" (guest_unmap t ~root ~va)
+
+let guest_protect t ~root ~va ~writable =
+  traced t ~op:"guest_protect" (guest_protect t ~root ~va ~writable)
+
+let declare_root t ~pfn = traced t ~op:"declare_root" (declare_root t ~pfn)
+let load_cr3 t ~vcpu ~root = traced t ~op:"load_cr3" (load_cr3 t ~vcpu ~root)
+let release_root t ~root ~free_ptp = traced t ~op:"release_root" (release_root t ~root ~free_ptp)
+
 let kernel_root t = t.kernel_root
 let idt t = t.idt
 let pervcpu t = t.pervcpu
 let ksm_call_count t = t.ksm_calls
 let is_declared_ptp t pfn = match (desc t pfn).state with Guest_ptp _ -> true | Guest_data | Ksm_private -> false
 let root_copies t root = Option.map (fun i -> i.copies) (Hashtbl.find_opt t.roots root)
+
+(* ------------------------------------------------------------------ *)
+(* Read-only introspection for the analysis library.  These expose     *)
+(* the monitor's *claimed* state so an external scanner can re-derive  *)
+(* the machine's actual state and cross-check — they perform no        *)
+(* validation themselves.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let segments t = t.segments
+
+let page_state_of t pfn =
+  match Hashtbl.find_opt t.descs pfn with Some d -> d.state | None -> Guest_data
+
+let declared_ptps t =
+  Hashtbl.fold
+    (fun pfn d acc -> match d.state with Guest_ptp lvl -> (pfn, lvl) :: acc | _ -> acc)
+    t.descs []
+
+let roots t = Hashtbl.fold (fun pfn info acc -> (pfn, info.copies) :: acc) t.roots []
+let template_slots t = List.map fst t.template
+let kernel_exec_frozen t = t.kernel_exec_frozen

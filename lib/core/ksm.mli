@@ -116,3 +116,30 @@ val pervcpu : t -> Pervcpu.t
 val ksm_call_count : t -> int
 val is_declared_ptp : t -> Hw.Addr.pfn -> bool
 val root_copies : t -> Hw.Addr.pfn -> Hw.Addr.pfn array option
+
+(** {2 Read-only introspection}
+
+    Exposed for the analysis library's whole-machine scanner, which
+    re-walks the live page tables from scratch and cross-checks the
+    result against the monitor's claimed state. These accessors perform
+    no validation — using them cannot launder a check through the KSM's
+    own enforcement paths. *)
+
+val segments : t -> (Hw.Addr.pfn * int) list
+(** The delegated hPA segments [(base, frames)]. *)
+
+val page_state_of : t -> Hw.Addr.pfn -> page_state
+(** The monitor's claimed state for a frame (undeclared frames read as
+    [Guest_data]). *)
+
+val declared_ptps : t -> (Hw.Addr.pfn * int) list
+(** All frames currently declared as PTPs, with their levels. *)
+
+val roots : t -> (Hw.Addr.pfn * Hw.Addr.pfn array) list
+(** All declared top-level PTPs with their per-vCPU copies. *)
+
+val template_slots : t -> int list
+(** The fixed L4 indices the KSM splices into every root. *)
+
+val kernel_exec_frozen : t -> bool
+(** Whether new kernel-executable mappings are refused (set at boot). *)

@@ -64,6 +64,7 @@ let in_guest_kernel t = t.mode = Kernel && t.pkrs <> Pks.all_access
 let load_cr3 t ~root ~pcid =
   t.cr3 <- root;
   t.pcid <- pcid;
+  if Probe.active () then Probe.emit (Probe.Cr3_load { cpu = t.id; pcid; root });
   Clock.charge t.clock "cr3_switch" Cost.cr3_switch
 
 (* ------------------------------------------------------------------ *)
@@ -71,14 +72,30 @@ let load_cr3 t ~root ~pcid =
 (* ------------------------------------------------------------------ *)
 
 let exec_priv t (inst : Priv.t) : (unit, fault) result =
+  let trace ~blocked =
+    if Probe.active () then
+      Probe.emit
+        (Probe.Priv_exec
+           {
+             cpu = t.id;
+             mnemonic = Priv.mnemonic inst;
+             destructive = Priv.blocked_in_guest inst;
+             pkrs = t.pkrs;
+             blocked;
+           })
+  in
   if t.mode <> Kernel then Error (Not_kernel_mode inst)
   else if t.pkrs <> Pks.all_access && Priv.blocked_in_guest inst then begin
+    trace ~blocked:true;
     Clock.count t.clock "priv_inst_blocked";
     Error (Blocked_instruction inst)
   end
   else begin
+    trace ~blocked:false;
     (match inst with
-    | Priv.Wrpkrs r -> t.pkrs <- r
+    | Priv.Wrpkrs r ->
+        t.pkrs <- r;
+        if Probe.active () then Probe.emit (Probe.Wrpkrs { cpu = t.id; value = r })
     | Priv.Rdpkrs -> ()
     | Priv.Swapgs ->
         let g = t.gs_base in
@@ -87,23 +104,32 @@ let exec_priv t (inst : Priv.t) : (unit, fault) result =
     | Priv.Sysret ->
         t.mode <- User;
         (* E3: IF stays on when a deprivileged kernel returns. *)
-        if t.pkrs <> Pks.all_access then t.if_flag <- true
+        if t.pkrs <> Pks.all_access then t.if_flag <- true;
+        if Probe.active () then
+          Probe.emit (Probe.Sysret { cpu = t.id; pkrs = t.pkrs; if_after = t.if_flag })
     | Priv.Sti -> t.if_flag <- true
     | Priv.Cli -> t.if_flag <- false
     | Priv.Popf -> ()
     | Priv.Hlt -> t.halted <- true
     | Priv.Invlpg va ->
         Tlb.invlpg t.tlb ~pcid:t.pcid va;
+        if Probe.active () then
+          Probe.emit (Probe.Tlb_invlpg { cpu = t.id; pcid = t.pcid; vpn = Addr.vpn_of_va va });
         Clock.charge t.clock "invlpg" Cost.invlpg
-    | Priv.Invpcid -> Tlb.flush_pcid t.tlb ~pcid:t.pcid
+    | Priv.Invpcid ->
+        Tlb.flush_pcid t.tlb ~pcid:t.pcid;
+        if Probe.active () then Probe.emit (Probe.Tlb_flush_pcid { cpu = t.id; pcid = t.pcid })
     | Priv.Iret -> (
         t.if_flag <- true;
         (* E4: extended iret restores the interrupt-saved PKRS. *)
-        match t.saved_pkrs with
+        let before = t.pkrs in
+        (match t.saved_pkrs with
         | [] -> ()
         | r :: rest ->
             t.pkrs <- r;
-            t.saved_pkrs <- rest)
+            t.saved_pkrs <- rest);
+        if Probe.active () then
+          Probe.emit (Probe.Iret { cpu = t.id; pkrs_before = before; pkrs_after = t.pkrs }))
     | Priv.Lidt | Priv.Sidt | Priv.Lgdt | Priv.Ltr | Priv.Rdmsr _ | Priv.Wrmsr _
     | Priv.Mov_from_cr _ | Priv.Mov_to_cr0 | Priv.Mov_to_cr4 | Priv.Clac | Priv.Stac
     | Priv.Smsw | Priv.In_port _ | Priv.Out_port _ ->
@@ -168,6 +194,13 @@ let access t (pt : Page_table.t) ~va ~(access_kind : Pks.access) ?(exec = false)
           Clock.charge t.clock "tlb_miss_walk" (float_of_int refs *. Cost.walk_mem_ref);
           Tlb.insert t.tlb ~pcid:t.pcid ~va
             { Tlb.pfn = Pte.pfn w.pte; flags = Pte.flags_of w.pte; level = w.leaf_level };
+          if Probe.active () then begin
+            let vpn = Addr.vpn_of_va va in
+            let vpn = if w.leaf_level = 2 then vpn land lnot 511 else vpn in
+            Probe.emit
+              (Probe.Tlb_fill
+                 { cpu = t.id; pcid = t.pcid; vpn; level = w.leaf_level; pfn = Pte.pfn w.pte })
+          end;
           finish w.pte w.leaf_level)
 
 (* ------------------------------------------------------------------ *)

@@ -48,12 +48,24 @@ let deliver t cpu ~kind v =
   match get t v with
   | None -> invalid_arg (Printf.sprintf "Idt.deliver: vector %d not installed" v)
   | Some e ->
+      let pkrs_before = cpu.Cpu.pkrs in
       (match kind with
       | Hardware -> Cpu.hw_interrupt_entry cpu ~pks_switch:e.pks_switch
       | Software ->
           if (not e.user_invocable) && cpu.Cpu.mode = Cpu.User then
             raise (Cpu.Fault (Cpu.Priv_page_violation 0))
           else cpu.Cpu.mode <- Cpu.Kernel);
+      if Probe.active () then
+        Probe.emit
+          (Probe.Idt_deliver
+             {
+               cpu = cpu.Cpu.id;
+               vector = v;
+               hardware = (kind = Hardware);
+               pks_switch = e.pks_switch;
+               pkrs_before;
+               pkrs_after = cpu.Cpu.pkrs;
+             });
       e
 
 (* Standard vectors used by the simulation. *)

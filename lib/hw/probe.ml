@@ -1,0 +1,86 @@
+(* Hardware/monitor event probes.
+
+   Hook points in Cpu/Idt/Pks/Ksm/Gates/Mm emit typed events here; the
+   analysis library installs a sink (a ring-buffer recorder) around a
+   scenario and lints the stream afterwards.  With no sink installed an
+   emit site costs one ref read and performs no allocation (callers
+   guard event construction behind [active ()]). *)
+
+type gate = Ksm_call_gate | Hypercall_gate | Interrupt_gate
+
+let gate_name = function
+  | Ksm_call_gate -> "ksm-call"
+  | Hypercall_gate -> "hypercall"
+  | Interrupt_gate -> "interrupt"
+
+type event =
+  | Priv_exec of { cpu : int; mnemonic : string; destructive : bool; pkrs : int; blocked : bool }
+  | Wrpkrs of { cpu : int; value : int }
+  | Sysret of { cpu : int; pkrs : int; if_after : bool }
+  | Iret of { cpu : int; pkrs_before : int; pkrs_after : int }
+  | Gate_enter of { cpu : int; gate : gate; pkrs : int }
+  | Gate_exit of { cpu : int; gate : gate; entry_pkrs : int; pkrs : int }
+  | Idt_deliver of {
+      cpu : int;
+      vector : int;
+      hardware : bool;
+      pks_switch : bool;
+      pkrs_before : int;
+      pkrs_after : int;
+    }
+  | Tlb_fill of { cpu : int; pcid : int; vpn : int; level : int; pfn : int }
+  | Tlb_invlpg of { cpu : int; pcid : int; vpn : int }
+  | Tlb_flush_pcid of { cpu : int; pcid : int }
+  | Cr3_load of { cpu : int; pcid : int; root : int }
+  | Pks_denied of { key : int; write : bool }
+  | Ksm_op of { container : int; op : string; ok : bool }
+  | Pte_downgrade of { container : int; root : int; vpn : int; unmapped : bool }
+  | Container_boot of { container : int; pcid : int }
+  | Mm_op of { op : string; vpn : int; pages : int }
+
+let pp_event fmt = function
+  | Priv_exec { cpu; mnemonic; destructive; pkrs; blocked } ->
+      Format.fprintf fmt "cpu%d priv %s%s pkrs=%#x %s" cpu mnemonic
+        (if destructive then " (destructive)" else "")
+        pkrs
+        (if blocked then "blocked" else "executed")
+  | Wrpkrs { cpu; value } -> Format.fprintf fmt "cpu%d wrpkrs %#x" cpu value
+  | Sysret { cpu; pkrs; if_after } ->
+      Format.fprintf fmt "cpu%d sysret pkrs=%#x if=%b" cpu pkrs if_after
+  | Iret { cpu; pkrs_before; pkrs_after } ->
+      Format.fprintf fmt "cpu%d iret pkrs %#x -> %#x" cpu pkrs_before pkrs_after
+  | Gate_enter { cpu; gate; pkrs } ->
+      Format.fprintf fmt "cpu%d enter %s gate pkrs=%#x" cpu (gate_name gate) pkrs
+  | Gate_exit { cpu; gate; entry_pkrs; pkrs } ->
+      Format.fprintf fmt "cpu%d exit %s gate pkrs %#x -> %#x" cpu (gate_name gate) entry_pkrs pkrs
+  | Idt_deliver { cpu; vector; hardware; pks_switch; pkrs_before; pkrs_after } ->
+      Format.fprintf fmt "cpu%d idt vec=%d %s pks_switch=%b pkrs %#x -> %#x" cpu vector
+        (if hardware then "hw" else "sw")
+        pks_switch pkrs_before pkrs_after
+  | Tlb_fill { cpu; pcid; vpn; level; pfn } ->
+      Format.fprintf fmt "cpu%d tlb fill pcid=%d vpn=%#x lvl=%d pfn=%d" cpu pcid vpn level pfn
+  | Tlb_invlpg { cpu; pcid; vpn } ->
+      Format.fprintf fmt "cpu%d invlpg pcid=%d vpn=%#x" cpu pcid vpn
+  | Tlb_flush_pcid { cpu; pcid } -> Format.fprintf fmt "cpu%d tlb flush pcid=%d" cpu pcid
+  | Cr3_load { cpu; pcid; root } ->
+      Format.fprintf fmt "cpu%d cr3 load root=%d pcid=%d" cpu root pcid
+  | Pks_denied { key; write } ->
+      Format.fprintf fmt "pks denied key=%d %s" key (if write then "write" else "read")
+  | Ksm_op { container; op; ok } ->
+      Format.fprintf fmt "ksm[%d] %s %s" container op (if ok then "ok" else "rejected")
+  | Pte_downgrade { container; root; vpn; unmapped } ->
+      Format.fprintf fmt "ksm[%d] pte %s root=%d vpn=%#x" container
+        (if unmapped then "unmap" else "write-protect")
+        root vpn
+  | Container_boot { container; pcid } ->
+      Format.fprintf fmt "container %d boots with pcid=%d" container pcid
+  | Mm_op { op; vpn; pages } -> Format.fprintf fmt "mm %s vpn=%#x pages=%d" op vpn pages
+
+let show_event e = Format.asprintf "%a" pp_event e
+
+let sink : (event -> unit) option ref = ref None
+
+let active () = match !sink with None -> false | Some _ -> true
+let emit ev = match !sink with None -> () | Some f -> f ev
+let set_sink f = sink := Some f
+let clear_sink () = sink := None

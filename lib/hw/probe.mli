@@ -1,0 +1,67 @@
+(** Hardware/monitor event probes.
+
+    Low-overhead hook points scattered through the simulator ([Cpu],
+    [Idt], [Pks], the KSM, the gates, the guest [Mm]) emit typed events
+    here. Nothing is recorded unless a sink is installed — the analysis
+    library's trace recorder attaches one around a scenario and lints
+    the resulting event stream afterwards.
+
+    Events carry only primitive payloads so this module sits below
+    everything else in [hw] (only {!Pks}-free, {!Priv}-free data), and
+    any layer may emit without dependency cycles. *)
+
+(** Which switch gate an event refers to. *)
+type gate = Ksm_call_gate | Hypercall_gate | Interrupt_gate
+
+val gate_name : gate -> string
+
+type event =
+  | Priv_exec of {
+      cpu : int;
+      mnemonic : string;
+      destructive : bool;  (** blocked-in-guest per Table 3 *)
+      pkrs : int;  (** PKRS at the attempt *)
+      blocked : bool;  (** did extension E2 fault it? *)
+    }
+  | Wrpkrs of { cpu : int; value : int }  (** a successful PKRS write *)
+  | Sysret of { cpu : int; pkrs : int; if_after : bool }  (** E3 *)
+  | Iret of { cpu : int; pkrs_before : int; pkrs_after : int }  (** E4 *)
+  | Gate_enter of { cpu : int; gate : gate; pkrs : int }
+  | Gate_exit of { cpu : int; gate : gate; entry_pkrs : int; pkrs : int }
+  | Idt_deliver of {
+      cpu : int;
+      vector : int;
+      hardware : bool;
+      pks_switch : bool;
+      pkrs_before : int;
+      pkrs_after : int;
+    }
+  | Tlb_fill of { cpu : int; pcid : int; vpn : int; level : int; pfn : int }
+  | Tlb_invlpg of { cpu : int; pcid : int; vpn : int }
+  | Tlb_flush_pcid of { cpu : int; pcid : int }
+  | Cr3_load of { cpu : int; pcid : int; root : int }
+  | Pks_denied of { key : int; write : bool }
+  | Ksm_op of { container : int; op : string; ok : bool }
+  | Pte_downgrade of {
+      container : int;
+      root : int;
+      vpn : int;
+      unmapped : bool;  (** true: PTE cleared; false: write-protected *)
+    }
+  | Container_boot of { container : int; pcid : int }
+  | Mm_op of { op : string; vpn : int; pages : int }
+
+val pp_event : Format.formatter -> event -> unit
+val show_event : event -> string
+
+val active : unit -> bool
+(** Cheap guard: emitters must test this before constructing an event,
+    so the disabled path costs one ref read and no allocation. *)
+
+val emit : event -> unit
+(** Deliver [ev] to the installed sink (no-op when none). *)
+
+val set_sink : (event -> unit) -> unit
+(** Install a sink (the trace recorder). Replaces any previous one. *)
+
+val clear_sink : unit -> unit

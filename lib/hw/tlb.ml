@@ -78,6 +78,11 @@ let flush_all t =
   Hashtbl.reset t.table;
   Queue.clear t.order
 
+(* Fold over all cached translations (scanner support: the analysis
+   library re-walks the live page tables and compares). *)
+let fold t f init =
+  Hashtbl.fold (fun (pcid, vpn) e acc -> f acc ~pcid ~vpn e) t.table init
+
 let size t = Hashtbl.length t.table
 let entries_for t ~pcid = Hashtbl.fold (fun (p, _) _ n -> if p = pcid then n + 1 else n) t.table 0
 let hits t = t.hits

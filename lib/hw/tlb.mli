@@ -30,6 +30,11 @@ val flush_pcid : t -> pcid:int -> unit
 (** Drop all translations of [pcid] (invpcid / CR3 write w/ flush). *)
 
 val flush_all : t -> unit
+
+val fold : t -> ('a -> pcid:int -> vpn:Addr.vpn -> entry -> 'a) -> 'a -> 'a
+(** Fold over every cached translation (used by the analysis library's
+    stale-entry scanner). *)
+
 val size : t -> int
 val entries_for : t -> pcid:int -> int
 val hits : t -> int

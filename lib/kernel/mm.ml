@@ -62,7 +62,13 @@ let mmap t ~pages ~prot ~backing =
   t.mmap_cursor <- stop;
   base
 
+(* Probe hook: guest-mm operations, so the trace linter can tie PTE
+   downgrades back to the syscall that caused them. *)
+let trace_op op ~vpn ~pages =
+  if Hw.Probe.active () then Hw.Probe.emit (Hw.Probe.Mm_op { op; vpn; pages })
+
 let munmap t ~start ~pages =
+  trace_op "munmap" ~vpn:(Hw.Addr.vpn_of_va start) ~pages;
   let stop = start + (pages * Hw.Addr.page_size) in
   let _removed = Vma.remove t.vmas ~start ~stop in
   for vpn = Hw.Addr.vpn_of_va start to Hw.Addr.vpn_of_va (stop - 1) do
@@ -76,6 +82,7 @@ let munmap t ~start ~pages =
   done
 
 let mprotect t ~start ~pages ~prot =
+  trace_op "mprotect" ~vpn:(Hw.Addr.vpn_of_va start) ~pages;
   let stop = start + (pages * Hw.Addr.page_size) in
   ignore (Vma.protect t.vmas ~start ~stop ~prot);
   (* Update PTEs of resident pages in the range. *)
@@ -102,6 +109,7 @@ let handle_fault t va ~write =
   | None -> raise (Segfault va)
   | Some area ->
       if write && not area.Vma.prot.Vma.write then raise (Segfault va);
+      trace_op "demand_fault" ~vpn:(Hw.Addr.vpn_of_va va) ~pages:1;
       t.faults <- t.faults + 1;
       let p = t.platform in
       p.Platform.fault_round_trip ();

@@ -1,0 +1,531 @@
+(* Analysis-subsystem tests.
+
+   Two families:
+     - fault injection: corrupt live machine state behind the KSM's
+       back (raw Hw.Phys_mem writes, TLB desync) or synthesize probe
+       event sequences the hardware extensions would normally prevent,
+       then assert the matching scanner/lint rule fires;
+     - clean runs: boot + workload + gate traffic must scan and lint
+       to zero findings. *)
+
+open Alcotest
+
+let check_bool = check bool
+
+let mk ?(mem_mib = 160) () = Cki.Container.create_standalone ~mem_mib ()
+let mem_of (c : Cki.Container.t) = Hw.Machine.mem (Cki.Host.machine c.Cki.Container.host)
+let scan c = Analysis.check_machine ~containers:[ c ]
+let has rule vs = List.exists (fun v -> Analysis.Invariants.rule_name v = rule) vs
+let lint_has rule fs = List.exists (fun f -> Analysis.Lint.rule_name f = rule) fs
+
+let fires name rule vs =
+  check_bool (Printf.sprintf "%s: %s fires" name rule) true (has rule vs)
+
+(* Raw leaf-slot lookup (own walk, no KSM involvement): the L1 table
+   frame and index holding [va]'s leaf under the kernel root. *)
+let leaf_slot c va =
+  let mem = mem_of c in
+  let rec go lvl table =
+    let idx = Hw.Addr.index_at_level ~lvl va in
+    if lvl = 1 then (table, idx)
+    else go (lvl - 1) (Hw.Pte.pfn (Hw.Phys_mem.read_entry mem ~pfn:table ~index:idx))
+  in
+  go 4 (Cki.Ksm.kernel_root (Cki.Container.ksm c))
+
+(* Install a user page at [va] through the legitimate KSM path. *)
+let map_user ?(user = true) ?(writable = true) c ~va =
+  let ksm = Cki.Container.ksm c in
+  let buddy = Cki.Container.buddy c in
+  let pfn = Kernel_model.Buddy.alloc buddy in
+  match
+    Cki.Ksm.guest_map ksm ~root:(Cki.Ksm.kernel_root ksm) ~va ~pfn
+      ~flags:{ Hw.Pte.default_flags with writable; user; nx = true }
+      ~alloc_ptp:(fun () -> Kernel_model.Buddy.alloc buddy)
+  with
+  | Ok () -> pfn
+  | Error e -> fail (Cki.Ksm.show_error e)
+
+let raw_write c ~pfn ~index v = Hw.Phys_mem.write_entry (mem_of c) ~pfn ~index v
+
+(* ------------------------------------------------------------------ *)
+(* Clean runs                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_clean_boot () =
+  let c = mk () in
+  check int "fresh boot scans clean" 0 (List.length (scan c))
+
+let test_clean_scenario () =
+  (* Boot + syscalls + faults + munmap + hypercall + interrupt under a
+     recorder: machine scan and trace lint both come back empty. *)
+  Analysis.checked ~label:"clean-scenario" (fun () ->
+      let c = mk () in
+      let b = Cki.Container.backend c in
+      let task = Virt.Backend.spawn b in
+      (match Virt.Backend.syscall_exn b task Kernel_model.Syscall.Getpid with
+      | Kernel_model.Syscall.Rint _ -> ()
+      | _ -> fail "getpid");
+      let base =
+        match
+          Virt.Backend.syscall_exn b task
+            (Kernel_model.Syscall.Mmap { pages = 16; prot = Kernel_model.Vma.prot_rw })
+        with
+        | Kernel_model.Syscall.Rint v -> v
+        | _ -> fail "mmap"
+      in
+      ignore (Kernel_model.Mm.touch_range task.Kernel_model.Task.mm ~start:base ~pages:16 ~write:true);
+      Kernel_model.Mm.munmap task.Kernel_model.Task.mm ~start:base ~pages:16;
+      b.Virt.Backend.empty_hypercall ();
+      let gates = Cki.Container.gates c in
+      let cpu = Cki.Container.cpu c 0 in
+      (match
+         Cki.Gates.interrupt gates cpu ~vcpu:0 ~vector:Hw.Idt.vec_timer ~kind:Hw.Idt.Hardware
+           (fun _ -> ())
+       with
+      | Ok () -> ()
+      | Error e -> fail (Cki.Gates.show_error e));
+      ((), [ c ]))
+
+let test_clean_gate_traffic () =
+  (* Interleaved gate traffic produces a lint-clean trace. *)
+  let c, trace =
+    Analysis.Trace.with_recorder (fun () ->
+        let c = mk () in
+        let gates = Cki.Container.gates c in
+        let cpu = Cki.Container.cpu c 0 in
+        for i = 1 to 300 do
+          match i mod 3 with
+          | 0 -> (
+              match Cki.Gates.ksm_call gates cpu ~vcpu:0 (fun () -> ()) with
+              | Ok () -> ()
+              | Error e -> fail (Cki.Gates.show_error e))
+          | 1 -> (
+              match
+                Cki.Gates.hypercall gates cpu ~vcpu:0 ~request:Kernel_model.Platform.Timer
+                  (fun _ -> ())
+              with
+              | Ok () -> ()
+              | Error e -> fail (Cki.Gates.show_error e))
+          | _ -> (
+              match
+                Cki.Gates.interrupt gates cpu ~vcpu:0 ~vector:Hw.Idt.vec_timer
+                  ~kind:Hw.Idt.Hardware (fun _ -> ())
+              with
+              | Ok () -> ()
+              | Error e -> fail (Cki.Gates.show_error e))
+        done;
+        c)
+  in
+  check int "trace lints clean" 0 (List.length (Analysis.lint_trace trace));
+  check int "machine scans clean" 0 (List.length (scan c))
+
+let test_attacks_leave_clean_state () =
+  (* Every blocked escape attempt leaves no residue the scanner
+     objects to. *)
+  let c = mk ~mem_mib:256 () in
+  List.iter
+    (fun (name, outcome) ->
+      match outcome with
+      | Cki.Attacks.Blocked _ -> ()
+      | Cki.Attacks.Succeeded -> fail (name ^ " escaped"))
+    (Cki.Attacks.all c);
+  check int "post-attack scan clean" 0 (List.length (scan c))
+
+(* ------------------------------------------------------------------ *)
+(* Scanner fault injection                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_undeclared_ptp () =
+  let c = mk () in
+  let rogue = Kernel_model.Buddy.alloc (Cki.Container.buddy c) in
+  let root = Cki.Ksm.kernel_root (Cki.Container.ksm c) in
+  (* splice an undeclared guest frame in as an L3 table *)
+  raw_write c ~pfn:root ~index:5
+    (Hw.Pte.make ~pfn:rogue ~flags:{ Hw.Pte.default_flags with writable = true });
+  fires "corrupt root entry" "I1-undeclared-ptp" (scan c)
+
+let test_guest_writable_ptp () =
+  let c = mk () in
+  let buddy = Cki.Container.buddy c in
+  let ksm = Cki.Container.ksm c in
+  let ptp = Kernel_model.Buddy.alloc buddy in
+  (match Cki.Ksm.declare_ptp ksm ~pfn:ptp ~level:1 with
+  | Ok () -> ()
+  | Error e -> fail (Cki.Ksm.show_error e));
+  (* undo the I2 re-tag behind the monitor's back: the guest's
+     direct-map view becomes writable again *)
+  let va = Cki.Layout.direct_va_of_pa (Hw.Addr.pa_of_pfn ptp) in
+  let table, idx = leaf_slot c va in
+  let e = Hw.Phys_mem.read_entry (mem_of c) ~pfn:table ~index:idx in
+  raw_write c ~pfn:table ~index:idx (Hw.Pte.with_pkey e Hw.Pks.pkey_guest);
+  fires "direct-map retag undone" "I2-writable-ptp" (scan c)
+
+let test_maps_declared_ptp () =
+  let c = mk () in
+  let buddy = Cki.Container.buddy c in
+  let ksm = Cki.Container.ksm c in
+  let ptp = Kernel_model.Buddy.alloc buddy in
+  (match Cki.Ksm.declare_ptp ksm ~pfn:ptp ~level:1 with
+  | Ok () -> ()
+  | Error e -> fail (Cki.Ksm.show_error e));
+  (* a read-only alias outside the pkey_ptp view *)
+  let va = Cki.Layout.direct_va_of_pa (Hw.Addr.pa_of_pfn ptp) in
+  let table, idx = leaf_slot c va in
+  let e = Hw.Phys_mem.read_entry (mem_of c) ~pfn:table ~index:idx in
+  raw_write c ~pfn:table ~index:idx
+    (Hw.Pte.with_pkey (Hw.Pte.with_writable e false) Hw.Pks.pkey_guest);
+  fires "read-only alias of PTP" "I2-maps-ptp" (scan c)
+
+let test_targets_monitor () =
+  let c = mk () in
+  let va = 0x4000_0000 in
+  ignore (map_user c ~va);
+  let table, idx = leaf_slot c va in
+  (* redirect the leaf at KSM-owned memory (the root table itself) *)
+  raw_write c ~pfn:table ~index:idx
+    (Hw.Pte.make
+       ~pfn:(Cki.Ksm.kernel_root (Cki.Container.ksm c))
+       ~flags:{ Hw.Pte.default_flags with writable = true; nx = true });
+  fires "leaf targets monitor memory" "pte-targets-monitor" (scan c)
+
+let test_outside_delegation () =
+  let c = mk () in
+  let mem = mem_of c in
+  let va = 0x4000_0000 in
+  ignore (map_user c ~va);
+  (* find a frame outside the delegation (free, or host-owned) *)
+  let total = Hw.Phys_mem.total_frames mem in
+  let rec find_free pfn =
+    if pfn >= total then fail "no free frame"
+    else if Hw.Phys_mem.is_free mem pfn then pfn
+    else find_free (pfn + 1)
+  in
+  let foreign = find_free 0 in
+  let table, idx = leaf_slot c va in
+  raw_write c ~pfn:table ~index:idx
+    (Hw.Pte.make ~pfn:foreign ~flags:{ Hw.Pte.default_flags with writable = true; nx = true });
+  fires "leaf escapes the delegated segment" "pte-outside-delegation" (scan c)
+
+let test_kernel_exec_leaf () =
+  let c = mk () in
+  let va = 0x4000_0000 in
+  let pfn = map_user c ~va in
+  let table, idx = leaf_slot c va in
+  (* flip to a kernel-executable mapping after the freeze *)
+  raw_write c ~pfn:table ~index:idx
+    (Hw.Pte.make ~pfn ~flags:{ Hw.Pte.default_flags with writable = false; user = false; nx = false });
+  fires "new kernel-executable mapping" "kernel-exec-leaf" (scan c)
+
+let test_wx_leaf () =
+  let c = mk () in
+  let va = 0x4000_0000 in
+  let pfn = map_user c ~va in
+  let table, idx = leaf_slot c va in
+  raw_write c ~pfn:table ~index:idx
+    (Hw.Pte.make ~pfn ~flags:{ Hw.Pte.default_flags with writable = true; user = true; nx = false });
+  fires "writable+executable leaf" "wx-leaf" (scan c)
+
+let test_missing_splice () =
+  let c = mk () in
+  let ksm = Cki.Container.ksm c in
+  let root = Cki.Ksm.kernel_root ksm in
+  let copies = Option.get (Cki.Ksm.root_copies ksm root) in
+  (* drop the KSM region from one per-vCPU copy: gate code would no
+     longer be mapped on that vCPU *)
+  raw_write c ~pfn:copies.(0) ~index:Cki.Layout.l4_ksm Hw.Pte.empty;
+  fires "copy lost the KSM splice" "I3-missing-splice" (scan c)
+
+let test_missing_pervcpu_splice () =
+  let c = mk () in
+  let ksm = Cki.Container.ksm c in
+  let copies = Option.get (Cki.Ksm.root_copies ksm (Cki.Ksm.kernel_root ksm)) in
+  raw_write c ~pfn:copies.(0) ~index:Cki.Layout.l4_pervcpu Hw.Pte.empty;
+  fires "copy lost the per-vCPU splice" "I3-missing-splice" (scan c)
+
+let test_copy_divergence () =
+  let c = mk () in
+  let ksm = Cki.Container.ksm c in
+  let va = 0x4000_0000 in
+  ignore (map_user c ~va);
+  let copies = Option.get (Cki.Ksm.root_copies ksm (Cki.Ksm.kernel_root ksm)) in
+  (* clear the propagated user-range slot in one copy only *)
+  raw_write c ~pfn:copies.(0) ~index:(Hw.Addr.index_at_level ~lvl:4 va) Hw.Pte.empty;
+  fires "copy user slot diverged" "I3-copy-divergence" (scan c)
+
+let test_ptp_level_mismatch () =
+  let c = mk () in
+  let ksm = Cki.Container.ksm c in
+  let va = 0x4000_0000 in
+  ignore (map_user c ~va);
+  (* the L1 PTP of that mapping, wired in as an L3 table elsewhere *)
+  let l1, _ = leaf_slot c va in
+  raw_write c ~pfn:(Cki.Ksm.kernel_root ksm) ~index:7
+    (Hw.Pte.make ~pfn:l1 ~flags:{ Hw.Pte.default_flags with writable = true });
+  fires "declared PTP used at the wrong level" "I1-level-mismatch" (scan c)
+
+let test_ptp_kind_mismatch () =
+  let c = mk () in
+  let ksm = Cki.Container.ksm c in
+  let buddy = Cki.Container.buddy c in
+  let ptp = Kernel_model.Buddy.alloc buddy in
+  (match Cki.Ksm.declare_ptp ksm ~pfn:ptp ~level:2 with
+  | Ok () -> ()
+  | Error e -> fail (Cki.Ksm.show_error e));
+  (* frame metadata contradicts the declaration *)
+  Hw.Phys_mem.set_kind (mem_of c) ptp Hw.Phys_mem.Data;
+  fires "declared PTP with data kind" "I1-kind-mismatch" (scan c)
+
+let test_segment_owner () =
+  let c = mk () in
+  let base, _ = List.hd (Cki.Ksm.segments (Cki.Container.ksm c)) in
+  Hw.Phys_mem.set_owner (mem_of c) base Hw.Phys_mem.Host;
+  fires "delegated frame re-owned" "segment-owner" (scan c)
+
+let test_stale_tlb () =
+  let c = mk () in
+  let ksm = Cki.Container.ksm c in
+  let va = 0x4000_0000 in
+  ignore (map_user c ~va);
+  let cpu = Cki.Container.cpu c 0 in
+  let pt = Hw.Page_table.of_root (mem_of c) cpu.Hw.Cpu.cr3 in
+  (match Hw.Cpu.access cpu pt ~va ~access_kind:Hw.Pks.Read () with
+  | Ok _ -> ()
+  | Error f -> fail (Hw.Cpu.show_fault f));
+  (* unmap through the KSM but "forget" the TLB shootdown *)
+  (match Cki.Ksm.guest_unmap ksm ~root:(Cki.Ksm.kernel_root ksm) ~va with
+  | Ok () -> ()
+  | Error e -> fail (Cki.Ksm.show_error e));
+  fires "cached translation survived unmap" "stale-tlb" (scan c);
+  (* the shootdown clears the finding *)
+  Hw.Cpu.exec_priv_exn cpu (Hw.Priv.Invlpg va);
+  check_bool "invlpg resolves it" false (has "stale-tlb" (scan c))
+
+(* ------------------------------------------------------------------ *)
+(* Lint fault injection                                                *)
+(* ------------------------------------------------------------------ *)
+
+let guest = Hw.Pks.pkrs_guest
+
+let test_lint_destructive_exec () =
+  let fs =
+    Analysis.Lint.run
+      [
+        Hw.Probe.Priv_exec
+          { cpu = 0; mnemonic = "lidt"; destructive = true; pkrs = guest; blocked = false };
+      ]
+  in
+  check_bool "unblocked destructive insn" true (lint_has "E2-destructive-exec" fs);
+  let blocked =
+    Analysis.Lint.run
+      [
+        Hw.Probe.Priv_exec
+          { cpu = 0; mnemonic = "lidt"; destructive = true; pkrs = guest; blocked = true };
+      ]
+  in
+  check int "blocked execution is fine" 0 (List.length blocked)
+
+let test_lint_gate_pkrs_leak () =
+  let fs =
+    Analysis.Lint.run
+      [
+        Hw.Probe.Gate_enter { cpu = 0; gate = Hw.Probe.Ksm_call_gate; pkrs = guest };
+        Hw.Probe.Gate_exit
+          { cpu = 0; gate = Hw.Probe.Ksm_call_gate; entry_pkrs = guest; pkrs = 0 };
+      ]
+  in
+  check_bool "gate exited with monitor rights" true (lint_has "gate-pkrs-leak" fs)
+
+let test_lint_sysret_if_down () =
+  let fs = Analysis.Lint.run [ Hw.Probe.Sysret { cpu = 0; pkrs = guest; if_after = false } ] in
+  check_bool "sysret left IF off" true (lint_has "E3-sysret-if-down" fs);
+  let ok = Analysis.Lint.run [ Hw.Probe.Sysret { cpu = 0; pkrs = guest; if_after = true } ] in
+  check int "E3-pinned sysret is fine" 0 (List.length ok)
+
+let test_lint_forged_pks_switch () =
+  let fs =
+    Analysis.Lint.run
+      [
+        Hw.Probe.Idt_deliver
+          {
+            cpu = 0;
+            vector = 32;
+            hardware = false;
+            pks_switch = true;
+            pkrs_before = guest;
+            pkrs_after = 0;
+          };
+      ]
+  in
+  check_bool "software int zeroed PKRS" true (lint_has "E4-forged-pks-switch" fs);
+  let fs2 =
+    Analysis.Lint.run
+      [
+        Hw.Probe.Idt_deliver
+          {
+            cpu = 0;
+            vector = 32;
+            hardware = true;
+            pks_switch = true;
+            pkrs_before = guest;
+            pkrs_after = guest;
+          };
+      ]
+  in
+  check_bool "hardware PKS switch failed to zero" true (lint_has "E4-forged-pks-switch" fs2)
+
+let test_lint_wrpkrs_outside_gate () =
+  let fs = Analysis.Lint.run [ Hw.Probe.Wrpkrs { cpu = 0; value = 0 } ] in
+  check_bool "bare wrpkrs" true (lint_has "E1-wrpkrs-outside-gate" fs);
+  let inside =
+    Analysis.Lint.run
+      [
+        Hw.Probe.Gate_enter { cpu = 0; gate = Hw.Probe.Ksm_call_gate; pkrs = guest };
+        Hw.Probe.Wrpkrs { cpu = 0; value = 0 };
+        Hw.Probe.Wrpkrs { cpu = 0; value = guest };
+        Hw.Probe.Gate_exit
+          { cpu = 0; gate = Hw.Probe.Ksm_call_gate; entry_pkrs = guest; pkrs = guest };
+      ]
+  in
+  check int "wrpkrs inside a gate is fine" 0 (List.length inside);
+  (* truncated trace: the gate's enter fell off the ring buffer — the
+     unmatched exit withdraws the candidate *)
+  let truncated =
+    Analysis.Lint.run
+      [
+        Hw.Probe.Wrpkrs { cpu = 0; value = guest };
+        Hw.Probe.Gate_exit
+          { cpu = 0; gate = Hw.Probe.Ksm_call_gate; entry_pkrs = guest; pkrs = guest };
+      ]
+  in
+  check int "truncation tolerated" 0 (List.length truncated)
+
+let test_lint_missing_shootdown () =
+  (* Real machine states + events: map, cache on the vCPU, downgrade
+     through the KSM, skip the shootdown. *)
+  let c, trace =
+    Analysis.Trace.with_recorder (fun () ->
+        let c = mk () in
+        let ksm = Cki.Container.ksm c in
+        let va = 0x4000_0000 in
+        ignore (map_user c ~va);
+        let cpu = Cki.Container.cpu c 0 in
+        let pt = Hw.Page_table.of_root (mem_of c) cpu.Hw.Cpu.cr3 in
+        (match Hw.Cpu.access cpu pt ~va ~access_kind:Hw.Pks.Read () with
+        | Ok _ -> ()
+        | Error f -> fail (Hw.Cpu.show_fault f));
+        (match Cki.Ksm.guest_unmap ksm ~root:(Cki.Ksm.kernel_root ksm) ~va with
+        | Ok () -> ()
+        | Error e -> fail (Cki.Ksm.show_error e));
+        c)
+  in
+  ignore c;
+  check_bool "downgrade without shootdown" true
+    (lint_has "missing-shootdown" (Analysis.lint_trace trace));
+  (* same scenario with the shootdown: clean *)
+  let _, trace2 =
+    Analysis.Trace.with_recorder (fun () ->
+        let c = mk () in
+        let ksm = Cki.Container.ksm c in
+        let va = 0x4000_0000 in
+        ignore (map_user c ~va);
+        let cpu = Cki.Container.cpu c 0 in
+        let pt = Hw.Page_table.of_root (mem_of c) cpu.Hw.Cpu.cr3 in
+        (match Hw.Cpu.access cpu pt ~va ~access_kind:Hw.Pks.Read () with
+        | Ok _ -> ()
+        | Error f -> fail (Hw.Cpu.show_fault f));
+        (match Cki.Ksm.guest_unmap ksm ~root:(Cki.Ksm.kernel_root ksm) ~va with
+        | Ok () -> ()
+        | Error e -> fail (Cki.Ksm.show_error e));
+        Hw.Cpu.exec_priv_exn cpu (Hw.Priv.Invlpg va))
+  in
+  check_bool "shootdown resolves it" false
+    (lint_has "missing-shootdown" (Analysis.lint_trace trace2))
+
+let test_lint_cross_vcpu_shootdown () =
+  (* Two vCPUs cache the mapping; only one is invalidated. *)
+  let fs =
+    Analysis.Lint.run
+      [
+        Hw.Probe.Container_boot { container = 0; pcid = 1 };
+        Hw.Probe.Tlb_fill { cpu = 0; pcid = 1; vpn = 0x400; level = 1; pfn = 42 };
+        Hw.Probe.Tlb_fill { cpu = 1; pcid = 1; vpn = 0x400; level = 1; pfn = 42 };
+        Hw.Probe.Pte_downgrade { container = 0; root = 7; vpn = 0x400; unmapped = false };
+        Hw.Probe.Tlb_invlpg { cpu = 0; pcid = 1; vpn = 0x400 };
+      ]
+  in
+  let stale =
+    List.filter
+      (function Analysis.Lint.Missing_shootdown { cpu; _ } -> cpu = 1 | _ -> false)
+      fs
+  in
+  check int "exactly the un-invalidated vCPU" 1 (List.length stale);
+  check_bool "invalidated vCPU is fine" false
+    (List.exists (function Analysis.Lint.Missing_shootdown { cpu; _ } -> cpu = 0 | _ -> false) fs)
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_rendering () =
+  let c = mk () in
+  let clean = { Analysis.violations = scan c; lints = [] } in
+  check_bool "clean result" true (Analysis.is_clean clean);
+  check_bool "clean summary" true
+    (String.length (Analysis.report clean) > 0
+    && Report.Findings.summary (Analysis.findings clean) = "clean");
+  let rogue = Kernel_model.Buddy.alloc (Cki.Container.buddy c) in
+  raw_write c ~pfn:(Cki.Ksm.kernel_root (Cki.Container.ksm c)) ~index:5
+    (Hw.Pte.make ~pfn:rogue ~flags:{ Hw.Pte.default_flags with writable = true });
+  let dirty = { Analysis.violations = scan c; lints = [] } in
+  check_bool "dirty result" false (Analysis.is_clean dirty);
+  check_bool "report names the rule" true
+    (let s = Analysis.report dirty in
+     let contains hay needle =
+       let nl = String.length needle and hl = String.length hay in
+       let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+       go 0
+     in
+     contains s "I1-undeclared-ptp");
+  check_raises "assert_clean raises"
+    (Failure (Analysis.report ~title:"analysis" dirty |> fun r -> "analysis: " ^ r))
+    (fun () -> Analysis.assert_clean dirty)
+
+let suite =
+  [
+    ( "analysis-clean",
+      [
+        test_case "fresh boot scans clean" `Quick test_clean_boot;
+        test_case "boot+workload scenario clean" `Quick test_clean_scenario;
+        test_case "gate traffic lints clean" `Quick test_clean_gate_traffic;
+        test_case "blocked attacks leave clean state" `Quick test_attacks_leave_clean_state;
+      ] );
+    ( "analysis-scanner",
+      [
+        test_case "I1: undeclared PTP" `Quick test_undeclared_ptp;
+        test_case "I2: guest-writable PTP" `Quick test_guest_writable_ptp;
+        test_case "I2: PTP aliased outside pkey_ptp" `Quick test_maps_declared_ptp;
+        test_case "leaf targets monitor memory" `Quick test_targets_monitor;
+        test_case "leaf outside delegation" `Quick test_outside_delegation;
+        test_case "kernel-exec after freeze" `Quick test_kernel_exec_leaf;
+        test_case "W^X breach" `Quick test_wx_leaf;
+        test_case "I3: missing KSM splice" `Quick test_missing_splice;
+        test_case "I3: missing per-vCPU splice" `Quick test_missing_pervcpu_splice;
+        test_case "I3: per-vCPU copy divergence" `Quick test_copy_divergence;
+        test_case "I1: PTP level mismatch" `Quick test_ptp_level_mismatch;
+        test_case "I1: PTP kind mismatch" `Quick test_ptp_kind_mismatch;
+        test_case "segment ownership" `Quick test_segment_owner;
+        test_case "stale TLB after unmap" `Quick test_stale_tlb;
+      ] );
+    ( "analysis-lint",
+      [
+        test_case "E2: destructive exec" `Quick test_lint_destructive_exec;
+        test_case "gate PKRS leak" `Quick test_lint_gate_pkrs_leak;
+        test_case "E3: sysret with IF down" `Quick test_lint_sysret_if_down;
+        test_case "E4: forged PKS switch" `Quick test_lint_forged_pks_switch;
+        test_case "E1: wrpkrs outside gate" `Quick test_lint_wrpkrs_outside_gate;
+        test_case "missing TLB shootdown (real machine)" `Quick test_lint_missing_shootdown;
+        test_case "cross-vCPU shootdown race" `Quick test_lint_cross_vcpu_shootdown;
+      ] );
+    ( "analysis-report",
+      [ test_case "rendering + assert_clean" `Quick test_report_rendering ] );
+  ]

@@ -13,6 +13,7 @@ let check_bool = check bool
    address space, the number of containers is unbounded by keys.  Boot
    20 containers on one host and exercise each. *)
 let test_more_containers_than_pks_domains () =
+  Analysis.checked ~label:"20-containers" @@ fun () ->
   let machine = Hw.Machine.create ~cpus:8 ~mem_mib:640 () in
   let host = Cki.Host.create machine in
   let cfg = { Cki.Config.default with Cki.Config.segment_frames = 1536; vcpus = 1 } in
@@ -52,7 +53,8 @@ let test_more_containers_than_pks_domains () =
     | a :: (b :: _ as rest) -> a.Cki.Host.base + a.Cki.Host.frames <= b.Cki.Host.base && disjoint rest
     | [ _ ] | [] -> true
   in
-  check_bool "segments disjoint" true (disjoint sorted)
+  check_bool "segments disjoint" true (disjoint sorted);
+  ((), containers)
 
 (* The fragmentation limitation: after tearing down interleaved
    containers, a larger segment may be unplaceable even though total
@@ -80,6 +82,7 @@ let test_segment_fragmentation () =
 
 (* KSM validates 2 MiB leaf mappings at level 2. *)
 let test_ksm_huge_mapping () =
+  Analysis.checked ~label:"huge-mapping" @@ fun () ->
   let c = Cki.Container.create_standalone ~mem_mib:160 () in
   let ksm = Cki.Container.ksm c in
   let buddy = Cki.Container.buddy c in
@@ -98,16 +101,18 @@ let test_ksm_huge_mapping () =
   check_int "huge leaf" 2 w.Hw.Page_table.leaf_level;
   check_int "frame" huge_frame (Hw.Pte.pfn w.Hw.Page_table.pte);
   (* a huge mapping of KSM memory is still rejected *)
-  match
-    Cki.Ksm.guest_map ksm ~root ~va:Cki.Layout.ksm_base ~pfn:huge_frame ~flags
-      ~alloc_ptp:(fun () -> Kernel_model.Buddy.alloc buddy)
-  with
+  (match
+     Cki.Ksm.guest_map ksm ~root ~va:Cki.Layout.ksm_base ~pfn:huge_frame ~flags
+       ~alloc_ptp:(fun () -> Kernel_model.Buddy.alloc buddy)
+   with
   | Error (Cki.Ksm.Reserved_range _) -> ()
-  | _ -> fail "huge mapping must be validated too"
+  | _ -> fail "huge mapping must be validated too");
+  ((), [ c ])
 
 (* Gate stress: thousands of interleaved KSM calls / hypercalls /
    interrupts leave CPU state exactly restored. *)
 let test_gate_stress () =
+  Analysis.checked ~label:"gate-stress" @@ fun () ->
   let c = Cki.Container.create_standalone ~mem_mib:160 () in
   let cpu = Cki.Container.cpu c 0 in
   Cki.Container.enter_guest_kernel cpu;
@@ -137,21 +142,22 @@ let test_gate_stress () =
   check_int "CR3 restored" cr3 cpu.Hw.Cpu.cr3;
   check_bool "no saved PKRS leaked" true (cpu.Hw.Cpu.saved_pkrs = []);
   let area = Cki.Pervcpu.area (Cki.Ksm.pervcpu (Cki.Container.ksm c)) 0 in
-  check_int "secure stack balanced" 0 area.Cki.Pervcpu.stack_depth
+  check_int "secure stack balanced" 0 area.Cki.Pervcpu.stack_depth;
+  ((), [ c ])
 
 (* End-to-end shape invariant: on every memory-intensive app, the
    normalized ordering of the paper's Figure 12 holds. *)
 let test_fig12_ordering () =
+  Analysis.checked ~label:"fig12" @@ fun () ->
   let machine () = Hw.Machine.create ~cpus:2 ~mem_mib:512 () in
   let app b = Workloads.Parsec.run b Workloads.Parsec.dedup in
   let runc = app (Virt.Runc.create (machine ())) in
-  let cki =
-    app
-      (Cki.Container.backend
-         (Cki.Container.create_standalone
-            ~cfg:{ Cki.Config.default with Cki.Config.segment_frames = 65536 }
-            ~mem_mib:512 ()))
+  let cki_container =
+    Cki.Container.create_standalone
+      ~cfg:{ Cki.Config.default with Cki.Config.segment_frames = 65536 }
+      ~mem_mib:512 ()
   in
+  let cki = app (Cki.Container.backend cki_container) in
   let hvm = app (Virt.Hvm.create (machine ())) in
   let pvm = app (Virt.Pvm.create (machine ())) in
   let hvm_nst = app (Virt.Hvm.create ~env:Virt.Env.Nested (machine ())) in
@@ -159,11 +165,13 @@ let test_fig12_ordering () =
   check_bool "CKI < HVM-BM" true (cki < hvm);
   check_bool "CKI < PVM" true (cki < pvm);
   check_bool "everything < HVM-NST" true (max (max hvm pvm) cki < hvm_nst);
-  check_bool "CKI within 3% of RunC" true ((cki -. runc) /. runc < 0.03)
+  check_bool "CKI within 3% of RunC" true ((cki -. runc) /. runc < 0.03);
+  ((), [ cki_container ])
 
 (* Syscall-heavy end-to-end: a process writes 1 MiB through 1-KiB
    writes on each backend; CKI==RunC, PVM pays per syscall. *)
 let test_write_loop_totals () =
+  Analysis.checked ~label:"write-loop" @@ fun () ->
   let run (b : Virt.Backend.t) =
     let task = Virt.Backend.spawn b in
     let fd =
@@ -180,11 +188,13 @@ let test_write_loop_totals () =
         done)
   in
   let runc = run (Virt.Runc.create (Hw.Machine.create ~mem_mib:64 ())) in
-  let cki = run (Cki.Container.backend (Cki.Container.create_standalone ~mem_mib:160 ())) in
+  let cki_container = Cki.Container.create_standalone ~mem_mib:160 () in
+  let cki = run (Cki.Container.backend cki_container) in
   let pvm = run (Virt.Pvm.create (Hw.Machine.create ~mem_mib:64 ())) in
   check_bool "CKI within 1% of RunC" true (Float.abs (cki -. runc) /. runc < 0.01);
   let extra = (pvm -. runc) /. 1024.0 in
-  check_bool "PVM pays ~243ns per write" true (Float.abs (extra -. 243.0) < 10.0)
+  check_bool "PVM pays ~243ns per write" true (Float.abs (extra -. 243.0) < 10.0);
+  ((), [ cki_container ])
 
 let suite =
   [
