@@ -1,4 +1,4 @@
-.PHONY: all build test check examples clean
+.PHONY: all build test check examples ci fmt clean
 
 all: build
 
@@ -15,6 +15,22 @@ check: test examples
 	dune exec bin/cki_demo.exe -- micro --check
 	dune exec bin/cki_demo.exe -- attack --check
 	dune exec bin/cki_demo.exe -- kv --check --clients 8
+	dune exec bin/cki_demo.exe -- clone --check
+
+# Formatting check; a no-op (with a note) where ocamlformat is not
+# installed, so `ci` works in minimal containers too.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+# The pre-PR gate: formatting (when available), the full test suite,
+# then the example/demo scenarios under the invariant scanner.
+ci: build fmt
+	dune runtest
+	$(MAKE) check
 
 examples: build
 	dune exec examples/quickstart.exe

@@ -1,20 +1,65 @@
 (* CKI reproduction benchmark harness.
 
    Regenerates every table and figure of the paper's evaluation (see
-   DESIGN.md section 4) plus the attack suite and Bechamel benches of
-   the simulator primitives.
+   DESIGN.md section 4) plus the attack suite, the snapshot/warm-clone
+   bench and Bechamel benches of the simulator primitives.
 
    Usage:
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe fig12      # one experiment
-     dune exec bench/main.exe list       # list experiment ids *)
+     dune exec bench/main.exe snapshot   # snapshot/restore/clone bench
+     dune exec bench/main.exe list       # list experiment ids
+
+   --json additionally writes machine-readable results for the benches
+   that support it: snapshot -> BENCH_snapshot.json, micro ->
+   BENCH_micro.json. *)
+
+(* Table 2's primitives, re-measured into a JSON artifact. *)
+let micro_json () =
+  let row mk =
+    let getpid = Micro.getpid_ns (mk ()) in
+    let pgfault = Micro.pgfault_ns (mk ()) in
+    let hypercall = Micro.hypercall_ns (mk ()) in
+    Report.Json.Obj
+      [
+        ("getpid_ns", Report.Json.Float getpid);
+        ("pgfault_ns", Report.Json.Float pgfault);
+        ("hypercall_ns", Report.Json.Float hypercall);
+      ]
+  in
+  Report.Json.write_file "BENCH_micro.json"
+    (Report.Json.Obj
+       [
+         ("bench", Report.Json.String "micro");
+         ("runc", row Backends.runc);
+         ("hvm_bm", row (fun () -> Backends.hvm_bm ()));
+         ("pvm_bm", row Backends.pvm_bm);
+         ("cki", row (fun () -> Backends.cki_bm ()));
+       ]);
+  Printf.printf "wrote BENCH_micro.json\n"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--json") args in
+  let run_special name =
+    match name with
+    | "simbench" ->
+        Simbench.run ();
+        true
+    | "snapshot" ->
+        Snap_bench.run ~json ();
+        true
+    | "micro" ->
+        if json then micro_json ()
+        else Printf.printf "micro: use --json to write BENCH_micro.json (table form is table2)\n";
+        true
+    | _ -> false
+  in
   match args with
   | [ "list" ] ->
       List.iter (fun (name, _) -> print_endline name) Experiments.all;
-      print_endline "simbench"
+      List.iter print_endline [ "snapshot"; "micro"; "simbench" ]
   | [] ->
       Printf.printf "CKI (EuroSys'25) reproduction — full benchmark run\n";
       Printf.printf "===================================================\n";
@@ -23,12 +68,13 @@ let () =
           f ();
           flush stdout)
         Experiments.all;
+      Snap_bench.run ~json ();
+      if json then micro_json ();
       Simbench.run ()
   | names ->
       List.iter
         (fun name ->
-          if name = "simbench" then Simbench.run ()
-          else
+          if not (run_special name) then
             match List.assoc_opt name Experiments.all with
             | Some f -> f ()
             | None ->

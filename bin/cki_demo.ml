@@ -1,9 +1,16 @@
 (* cki_demo: command-line driver for poking at the CKI reproduction.
 
-     cki_demo micro  [--backend cki|runc|hvm|pvm] [--nested]
+     cki_demo micro    [--backend cki|runc|hvm|pvm] [--nested]
      cki_demo attack
      cki_demo policy
-     cki_demo kv     [--clients N] [--redis] [--backend ...] [--nested]
+     cki_demo kv       [--clients N] [--redis] [--backend ...] [--nested]
+     cki_demo snapshot [--out FILE]
+     cki_demo restore  [--in FILE]
+     cki_demo clone    [--clones N] [--warm K]
+
+   Exit codes: 0 success; 1 usage/command-line errors or an unreadable
+   or corrupt snapshot image; 2 when --check finds invariant violations
+   or lint findings.
 
    (The full table/figure regeneration lives in bench/main.exe.) *)
 
@@ -37,10 +44,11 @@ let check_arg =
         ~doc:
           "After the run, re-walk every booted CKI container's live page tables from raw \
            physical memory, cross-check against the monitor's claimed state, and lint the \
-           recorded probe-event trace.  Exits non-zero on any finding.")
+           recorded probe-event trace.  Exits 2 on any finding.")
 
 (* Run [f] under a probe recorder when [check] is set; afterwards scan
-   every container booted during the run and lint the trace. *)
+   every container booted during the run and lint the trace.  Findings
+   exit with code 2 — distinct from usage errors (1). *)
 let with_check check f =
   if not check then f ()
   else begin
@@ -52,7 +60,7 @@ let with_check check f =
       }
     in
     Printf.printf "\n%s" (Analysis.report r);
-    if not (Analysis.is_clean r) then exit 1
+    if not (Analysis.is_clean r) then exit 2
   end
 
 let micro backend nested check =
@@ -109,24 +117,155 @@ let kv backend nested clients redis check =
   Printf.printf "%s %s with %d clients: %.1f k ops/s\n" b.Virt.Backend.label
     (Workloads.Kv.show_flavor flavor) clients (thr /. 1e3)
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore / clone                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A little state worth snapshotting: a task with a dirty heap and a
+   config file. *)
+let init_workload (c : Cki.Container.t) =
+  let b = Cki.Container.backend c in
+  let task = Virt.Backend.spawn b in
+  (match
+     Virt.Backend.syscall_exn b task
+       (Kernel_model.Syscall.Mmap { pages = 256; prot = Kernel_model.Vma.prot_rw })
+   with
+  | Kernel_model.Syscall.Rint base ->
+      ignore (Kernel_model.Mm.touch_range task.Kernel_model.Task.mm ~start:base ~pages:256 ~write:true)
+  | _ -> assert false);
+  (match
+     Virt.Backend.syscall_exn b task (Kernel_model.Syscall.Open { path = "/app.conf"; create = true })
+   with
+  | Kernel_model.Syscall.Rint fd ->
+      ignore
+        (Virt.Backend.syscall_exn b task
+           (Kernel_model.Syscall.Write { fd; data = Bytes.of_string "threads=4\n" }))
+  | _ -> assert false)
+
+let snapshot out check =
+  with_check check @@ fun () ->
+  let c = track (Cki.Container.create_standalone ~mem_mib:256 ()) in
+  init_workload c;
+  match Snapshot.Capture.capture c with
+  | Error e ->
+      Printf.eprintf "capture failed: %s\n" (Snapshot.Capture.show_error e);
+      exit 1
+  | Ok image ->
+      Snapshot.Image.write_file out image;
+      Printf.printf "captured container to %s: %d tables, %d aux frames, %d tasks\n" out
+        (List.length image.Snapshot.Image.tables)
+        (Array.length image.Snapshot.Image.aux)
+        (List.length image.Snapshot.Image.tasks)
+
+let restore_cmd_impl input check =
+  with_check check @@ fun () ->
+  match Snapshot.Image.read_file input with
+  | Error e ->
+      Printf.eprintf "cannot load %s: %s\n" input (Snapshot.Image.show_decode_error e);
+      exit 1
+  | Ok image -> (
+      let host = Cki.Host.create (Hw.Machine.create ~mem_mib:256 ()) in
+      let clock = Hw.Machine.clock (Cki.Host.machine host) in
+      match Hw.Clock.timed clock (fun () -> Snapshot.Restore.restore host image) with
+      | Ok c, ns ->
+          let c = track c in
+          let kernel = c.Cki.Container.backend.Virt.Backend.kernel in
+          Printf.printf "restored %s in %.0f simulated ns: %d tasks, %d materialized frames\n"
+            input ns
+            (List.length (Kernel_model.Kernel.tasks kernel))
+            (Snapshot.Restore.materialized_frames c)
+      | Error e, _ ->
+          Printf.eprintf "restore failed: %s\n" (Snapshot.Restore.show_error e);
+          exit 1)
+
+let clone_cmd_impl clones warm check =
+  with_check check @@ fun () ->
+  let host = Cki.Host.create (Hw.Machine.create ~mem_mib:512 ()) in
+  let clock = Hw.Machine.clock (Cki.Host.machine host) in
+  let cfg = { Cki.Config.default with Cki.Config.segment_frames = 16384 } in
+  let make () =
+    let c = track (Cki.Container.create ~cfg host) in
+    init_workload c;
+    match Snapshot.Template.create c with
+    | Ok t -> t
+    | Error e -> failwith (Snapshot.Template.show_error e)
+  in
+  let pool = Snapshot.Pool.create ~target:warm ~make in
+  let total = ref 0.0 in
+  for _ = 1 to clones do
+    match Hw.Clock.timed clock (fun () -> Snapshot.Pool.spawn_fast pool) with
+    | Ok c, ns ->
+        ignore (track c);
+        total := !total +. ns
+    | Error e, _ ->
+        Printf.eprintf "clone failed: %s\n" (Snapshot.Template.show_error e);
+        exit 1
+  done;
+  Printf.printf "warm pool: %d templates prebooted, %d clones served, %.0f simulated ns/clone\n"
+    (Snapshot.Pool.prebooted pool) (Snapshot.Pool.served pool)
+    (!total /. float_of_int (max 1 clones))
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success.";
+    Cmd.Exit.info 1
+      ~doc:"on usage or command-line errors, or an unreadable or corrupt snapshot image.";
+    Cmd.Exit.info 2 ~doc:"when $(b,--check) finds invariant violations or lint findings.";
+  ]
+
 let micro_cmd =
-  Cmd.v (Cmd.info "micro" ~doc:"Run the syscall/pgfault/hypercall microbenchmarks.")
+  Cmd.v (Cmd.info "micro" ~exits ~doc:"Run the syscall/pgfault/hypercall microbenchmarks.")
     Term.(const micro $ backend_arg $ nested_arg $ check_arg)
 
 let attack_cmd =
-  Cmd.v (Cmd.info "attack" ~doc:"Run the container-escape attack suite against CKI.")
+  Cmd.v (Cmd.info "attack" ~exits ~doc:"Run the container-escape attack suite against CKI.")
     Term.(const attack $ check_arg)
 
 let policy_cmd =
-  Cmd.v (Cmd.info "policy" ~doc:"Print the Table 3 privileged-instruction policy.")
+  Cmd.v (Cmd.info "policy" ~exits ~doc:"Print the Table 3 privileged-instruction policy.")
     Term.(const policy $ const ())
 
 let kv_cmd =
   let clients = Arg.(value & opt int 32 & info [ "c"; "clients" ] ~doc:"Concurrent clients.") in
   let redis = Arg.(value & flag & info [ "redis" ] ~doc:"Redis-like server (default memcached).") in
-  Cmd.v (Cmd.info "kv" ~doc:"Run the key-value serving workload.")
+  Cmd.v (Cmd.info "kv" ~exits ~doc:"Run the key-value serving workload.")
     Term.(const kv $ backend_arg $ nested_arg $ clients $ redis $ check_arg)
+
+let snapshot_cmd =
+  let out =
+    Arg.(value & opt string "container.ckisnap" & info [ "o"; "out" ] ~doc:"Output image file.")
+  in
+  Cmd.v
+    (Cmd.info "snapshot" ~exits
+       ~doc:"Boot a container, run an init workload, and capture it to an image file.")
+    Term.(const snapshot $ out $ check_arg)
+
+let restore_cmd =
+  let input =
+    Arg.(value & opt string "container.ckisnap" & info [ "i"; "in" ] ~doc:"Input image file.")
+  in
+  Cmd.v
+    (Cmd.info "restore" ~exits
+       ~doc:
+         "Restore a container from an image file onto a fresh machine, relocating its hPA \
+          segment; the result is re-verified with the invariant scanner.")
+    Term.(const restore_cmd_impl $ input $ check_arg)
+
+let clone_cmd =
+  let clones = Arg.(value & opt int 4 & info [ "n"; "clones" ] ~doc:"Clones to spawn.") in
+  let warm = Arg.(value & opt int 1 & info [ "w"; "warm" ] ~doc:"Templates to pre-boot.") in
+  Cmd.v
+    (Cmd.info "clone" ~exits
+       ~doc:"Pre-boot frozen templates into a warm pool and serve CoW clones from it.")
+    Term.(const clone_cmd_impl $ clones $ warm $ check_arg)
 
 let () =
   let doc = "CKI (EuroSys'25) reproduction demo driver" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "cki_demo" ~doc) [ micro_cmd; attack_cmd; policy_cmd; kv_cmd ]))
+  exit
+    (Cmd.eval ~term_err:1
+       (Cmd.group (Cmd.info "cki_demo" ~doc ~exits)
+          [ micro_cmd; attack_cmd; policy_cmd; kv_cmd; snapshot_cmd; restore_cmd; clone_cmd ]))

@@ -29,6 +29,7 @@ type violation =
   | Stale_tlb of { container : int; cpu : int; pcid : int; vpn : int; reason : string }
   | Segment_overlap of { container : int; other : int; base : Hw.Addr.pfn; frames : int }
   | Segment_owner of { container : int; pfn : Hw.Addr.pfn; owner : string }
+  | Cow_writable of { container : int; va : Hw.Addr.va; pfn : Hw.Addr.pfn }
 [@@deriving show { with_path = false }, eq]
 
 let rule_name = function
@@ -46,6 +47,7 @@ let rule_name = function
   | Stale_tlb _ -> "stale-tlb"
   | Segment_overlap _ -> "segment-overlap"
   | Segment_owner _ -> "segment-owner"
+  | Cow_writable _ -> "cow-writable-leaf"
 
 let subject = function
   | Stale_tlb { container; cpu; _ } -> Printf.sprintf "container %d cpu %d" container cpu
@@ -61,7 +63,8 @@ let subject = function
   | Missing_splice { container; _ }
   | Copy_divergence { container; _ }
   | Segment_overlap { container; _ }
-  | Segment_owner { container; _ } ->
+  | Segment_owner { container; _ }
+  | Cow_writable { container; _ } ->
       Printf.sprintf "container %d" container
 
 (* Bytes of virtual address space one entry covers at [lvl]. *)
@@ -131,9 +134,20 @@ let check_container (c : Cki.Container.t) : violation list =
                 else add (Maps_declared_ptp { container = id; va; ptp = pfn })
             | Cki.Ksm.Guest_ptp _ | Cki.Ksm.Guest_data -> ()
           end
+      | Hw.Phys_mem.Container _ when Hw.Phys_mem.is_shared_ro mem pfn ->
+          (* CoW-shared template frame: another container's frame is
+             legitimately visible here, but only read-only — the
+             blanket check below flags any writable mapping. *)
+          ()
       | (Hw.Phys_mem.Host | Hw.Phys_mem.Ksm _) as o ->
           add (Targets_monitor { container = id; va; pfn; owner = oname o })
       | o -> add (Outside_delegation { container = id; va; pfn; owner = oname o }));
+      (* A CoW-shared frame (template pages referenced by warm clones,
+         and the template's own frozen pages) must never be writable
+         through any container's tables — a writable alias would let
+         one clone corrupt every sibling. *)
+      if Hw.Phys_mem.is_shared_ro mem pfn && writable then
+        add (Cow_writable { container = id; va; pfn });
       (* The monitor's own leaves (pkey_ksm) are TCB and exempt; for
          everything guest-reachable: W^X, and no kernel-executable
          mappings outside the frozen image. *)

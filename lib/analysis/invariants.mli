@@ -46,6 +46,9 @@ type violation =
       (** two containers' delegated hPA segments intersect *)
   | Segment_owner of { container : int; pfn : Hw.Addr.pfn; owner : string }
       (** a delegated frame's ownership metadata contradicts delegation *)
+  | Cow_writable of { container : int; va : Hw.Addr.va; pfn : Hw.Addr.pfn }
+      (** a CoW-shared template frame is reachable through a writable
+          leaf — one clone could corrupt every sibling *)
 
 val pp_violation : Format.formatter -> violation -> unit
 val show_violation : violation -> string

@@ -26,6 +26,7 @@ type t = {
   pcid : int;
   mutable current_vcpu : int;
   aspaces : (int, Hw.Addr.pfn) Hashtbl.t;  (** aspace id -> guest root PTP *)
+  next_as : int ref;  (** next aspace id (snapshotted, so ids are stable) *)
 }
 
 let backend t = t.backend
@@ -41,14 +42,14 @@ let enter_guest_kernel (cpu : Hw.Cpu.t) =
   cpu.Hw.Cpu.mode <- Hw.Cpu.Kernel;
   cpu.Hw.Cpu.pkrs <- Hw.Pks.pkrs_guest
 
-let create ?(env = Virt.Env.Bare_metal) ?(cfg = Config.default) (host : Host.t) : t =
+(* Wire a container from already-constructed parts.  [create] calls
+   this after trusted KSM boot; snapshot restore/clone call it with a
+   KSM, buddy and address-space table rebuilt from an image (so the
+   platform closures, gates and vCPUs are identical either way). *)
+let assemble ?(env = Virt.Env.Bare_metal) ~cfg (host : Host.t) ~container_id ~pcid ~ksm ~buddy
+    ~aspaces ~next_as () : t =
   let machine = Host.machine host in
-  let mem = Hw.Machine.mem machine in
   let clock = Hw.Machine.clock machine in
-  let container_id = Host.fresh_container_id host in
-  let pcid = Hw.Machine.fresh_pcid machine in
-  let base, frames = Host.delegate_segment host ~container:container_id ~frames:cfg.Config.segment_frames in
-  let ksm = Ksm.create mem clock ~container_id ~cfg ~segments:[ (base, frames) ] in
   let gates =
     Gates.create ~ksm ~cfg ~clock ~host_cr3:(Host.host_root host) ~host_pcid:(Host.host_pcid host)
   in
@@ -60,10 +61,6 @@ let create ?(env = Virt.Env.Bare_metal) ?(cfg = Config.default) (host : Host.t) 
         enter_guest_kernel cpu;
         cpu)
   in
-  let buddy = Kernel_model.Buddy.create ~base ~frames in
-  let aspaces = Hashtbl.create 16 in
-  let next_as = ref 0 in
-  let t_ref = ref None in
   let vcpu0 () = cpus.(0) in
   let hypercall kind =
     match
@@ -183,11 +180,40 @@ let create ?(env = Virt.Env.Bare_metal) ?(cfg = Config.default) (host : Host.t) 
     }
   in
   let t =
-    { backend; host; ksm; gates; cpus; buddy; cfg; container_id; pcid; current_vcpu = 0; aspaces }
+    {
+      backend;
+      host;
+      ksm;
+      gates;
+      cpus;
+      buddy;
+      cfg;
+      container_id;
+      pcid;
+      current_vcpu = 0;
+      aspaces;
+      next_as;
+    }
   in
-  t_ref := Some t;
   if Hw.Probe.active () then Hw.Probe.emit (Hw.Probe.Container_boot { container = container_id; pcid });
   t
+
+let create ?(env = Virt.Env.Bare_metal) ?(cfg = Config.default) (host : Host.t) : t =
+  let machine = Host.machine host in
+  let mem = Hw.Machine.mem machine in
+  let clock = Hw.Machine.clock machine in
+  let container_id = Host.fresh_container_id host in
+  let pcid = Hw.Machine.fresh_pcid machine in
+  let base, frames = Host.delegate_segment host ~container:container_id ~frames:cfg.Config.segment_frames in
+  let ksm = Ksm.create mem clock ~container_id ~cfg ~segments:[ (base, frames) ] in
+  let buddy = Kernel_model.Buddy.create ~base ~frames in
+  let aspaces = Hashtbl.create 16 in
+  let next_as = ref 0 in
+  (* Cold boot pays the guest kernel's own boot sequence on top of the
+     KSM construction — the cost snapshot restore and warm clones
+     amortize away. *)
+  Hw.Clock.charge clock "guest_kernel_boot" Hw.Cost.guest_kernel_boot;
+  assemble ~env ~cfg host ~container_id ~pcid ~ksm ~buddy ~aspaces ~next_as ()
 
 (* Convenience: build a host + container in one step (examples). *)
 let create_standalone ?(env = Virt.Env.Bare_metal) ?(cfg = Config.default) ?(mem_mib = 512) () =

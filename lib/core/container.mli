@@ -20,6 +20,7 @@ type t = {
   pcid : int;
   mutable current_vcpu : int;
   aspaces : (int, Hw.Addr.pfn) Hashtbl.t;
+  next_as : int ref;
 }
 
 val backend : t -> Virt.Backend.t
@@ -37,7 +38,29 @@ val enter_guest_kernel : Hw.Cpu.t -> unit
 val create : ?env:Virt.Env.t -> ?cfg:Config.t -> Host.t -> t
 (** Boot a container on [Host.t]: delegates a contiguous segment,
     constructs the KSM (trusted boot), allocates a PCID and vCPUs, and
-    wires the guest kernel's platform. *)
+    wires the guest kernel's platform.  Charges the full guest-kernel
+    boot cost ({!Hw.Cost.guest_kernel_boot}) — the cost that snapshot
+    restore and warm clones amortize away. *)
+
+val assemble :
+  ?env:Virt.Env.t ->
+  cfg:Config.t ->
+  Host.t ->
+  container_id:int ->
+  pcid:int ->
+  ksm:Ksm.t ->
+  buddy:Kernel_model.Buddy.t ->
+  aspaces:(int, Hw.Addr.pfn) Hashtbl.t ->
+  next_as:int ref ->
+  unit ->
+  t
+(** Wire a container from already-constructed parts: gates, vCPUs, the
+    guest kernel's platform closures and the backend record.  [create]
+    uses it after trusted KSM boot; the snapshot layer uses it with a
+    KSM, buddy and address-space table rebuilt from an image, so
+    restored and cloned containers get platform wiring identical to a
+    cold boot.  Does not charge boot cost and does not allocate — the
+    caller owns the segment, ids and PCID. *)
 
 val create_standalone : ?env:Virt.Env.t -> ?cfg:Config.t -> ?mem_mib:int -> unit -> t
 (** Convenience: fresh machine + host + one container. *)

@@ -98,3 +98,50 @@ let inject_virq t =
 let hypercall_count t = t.hypercalls
 let injected_virqs t = t.injected_virqs
 let hw_interrupt_count t = t.hw_interrupts
+
+(* ------------------------------------------------------------------ *)
+(* Warm pool: pre-booted clone templates for instant scale-out         *)
+(* ------------------------------------------------------------------ *)
+
+(* Polymorphic so lib/core need not depend on lib/snapshot: the host
+   manages the pool discipline (pre-boot N, rotate, refill on miss);
+   the snapshot layer supplies the template type and the clone step. *)
+module Warm_pool = struct
+  type 'a t = {
+    make : unit -> 'a;
+    target : int;
+    ready : 'a Queue.t;
+    mutable prebooted : int;  (** templates ever built (pre-boot + misses) *)
+    mutable served : int;  (** take requests served *)
+  }
+
+  let refill p =
+    while Queue.length p.ready < p.target do
+      Queue.add (p.make ()) p.ready;
+      p.prebooted <- p.prebooted + 1
+    done
+
+  let create ~target ~make =
+    if target < 0 then invalid_arg "Warm_pool.create";
+    let p = { make; target; ready = Queue.create (); prebooted = 0; served = 0 } in
+    refill p;
+    p
+
+  (* Templates are immutable once frozen, so a take rotates rather than
+     consumes: the same template serves an unbounded number of clones. *)
+  let take p =
+    p.served <- p.served + 1;
+    match Queue.take_opt p.ready with
+    | Some x ->
+        Queue.add x p.ready;
+        x
+    | None ->
+        let x = p.make () in
+        p.prebooted <- p.prebooted + 1;
+        Queue.add x p.ready;
+        x
+
+  let size p = Queue.length p.ready
+  let prebooted p = p.prebooted
+  let served p = p.served
+end

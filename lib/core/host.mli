@@ -32,3 +32,23 @@ val inject_virq : t -> unit
 val hypercall_count : t -> int
 val injected_virqs : t -> int
 val hw_interrupt_count : t -> int
+
+(** Warm pool of pre-booted clone templates. Polymorphic in the
+    template type so lib/core does not depend on lib/snapshot; the
+    snapshot layer instantiates it with frozen templates and serves
+    [spawn_fast] from it. Templates are immutable once frozen, so
+    {!Warm_pool.take} rotates rather than consumes. *)
+module Warm_pool : sig
+  type 'a t
+
+  val create : target:int -> make:(unit -> 'a) -> 'a t
+  (** Pre-boot [target] templates with [make]. *)
+
+  val take : 'a t -> 'a
+  (** Next ready template (round-robin); falls back to [make] — and
+      keeps the new template in the pool — when empty. *)
+
+  val size : 'a t -> int
+  val prebooted : 'a t -> int
+  val served : 'a t -> int
+end

@@ -118,6 +118,25 @@ let build_subtree t ~va_base ~pages ~frame_of ~pkey ~user ~writable ~nx =
 let ksm_code_pages = 16
 let kernel_image_pages = 64
 
+(* The container IDT lives in KSM memory: all hardware vectors request
+   IST + the PKS-switch extension (Section 4.4); page fault + #GP
+   vector to the guest kernel's own handlers (fast path, no PKS
+   switch).  Deterministic, so snapshot restore rebuilds it verbatim. *)
+let build_idt idt =
+  List.iter
+    (fun v ->
+      Hw.Idt.set idt
+        { Hw.Idt.vector = v; handler = "cki_interrupt_gate"; ist = Some 1; pks_switch = true;
+          user_invocable = false })
+    [ Hw.Idt.vec_timer; Hw.Idt.vec_virtio_net; Hw.Idt.vec_virtio_blk; Hw.Idt.vec_ipi ];
+  List.iter
+    (fun v ->
+      Hw.Idt.set idt
+        { Hw.Idt.vector = v; handler = "guest_fault_entry"; ist = None; pks_switch = false;
+          user_invocable = false })
+    [ Hw.Idt.vec_page_fault; Hw.Idt.vec_gp_fault ];
+  Hw.Idt.lock idt
+
 let create mem clock ~container_id ~cfg ~segments =
   let vcpus = cfg.Config.vcpus in
   let pervcpu = Pervcpu.create mem ~container_id ~vcpus in
@@ -178,23 +197,7 @@ let create mem clock ~container_id ~cfg ~segments =
       (Layout.l4_ksm, mk_link ksm_l3);
     ]
   in
-  (* Container IDT lives in KSM memory: all hardware vectors request
-     IST + the PKS-switch extension (Section 4.4). *)
-  List.iter
-    (fun v ->
-      Hw.Idt.set t.idt
-        { Hw.Idt.vector = v; handler = "cki_interrupt_gate"; ist = Some 1; pks_switch = true;
-          user_invocable = false })
-    [ Hw.Idt.vec_timer; Hw.Idt.vec_virtio_net; Hw.Idt.vec_virtio_blk; Hw.Idt.vec_ipi ];
-  (* Page fault + #GP vector to the guest kernel's own handlers (fast
-     path, no PKS switch: the guest handles its own user faults). *)
-  List.iter
-    (fun v ->
-      Hw.Idt.set t.idt
-        { Hw.Idt.vector = v; handler = "guest_fault_entry"; ist = None; pks_switch = false;
-          user_invocable = false })
-    [ Hw.Idt.vec_page_fault; Hw.Idt.vec_gp_fault ];
-  Hw.Idt.lock t.idt;
+  build_idt t.idt;
   let t = { t with template } in
   (* The guest kernel's boot address space: a KSM-owned root so boot is
      trusted; guest process roots come later from guest memory. *)
@@ -210,6 +213,61 @@ let create mem clock ~container_id ~cfg ~segments =
             write_raw t ~pfn:copy ~index:Layout.l4_pervcpu (Pervcpu.l4_entry pervcpu v);
             copy);
     };
+  t.kernel_exec_frozen <- true;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot restore (trusted reconstruction)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything a restored monitor needs, with all frame numbers already
+   relocated into the new delegation / fresh KSM allocations by the
+   snapshot layer.  Table contents are written here — through the
+   monitor, never by the guest — so a restored container's page tables
+   are monitor-authored exactly like a booted one's. *)
+type import = {
+  i_segments : (Hw.Addr.pfn * int) list;
+  i_ptps : (Hw.Addr.pfn * int) list;  (** declared PTPs with levels *)
+  i_roots : (Hw.Addr.pfn * Hw.Addr.pfn array) list;  (** root, per-vCPU copies *)
+  i_kernel_root : Hw.Addr.pfn;
+  i_template : (int * int64) list;  (** fixed L4 slots, relocated entries *)
+  i_tables : (Hw.Addr.pfn * (int * int64) list) list;
+      (** every live table's non-empty entries, relocated *)
+}
+
+let restore mem clock ~container_id ~cfg ~pervcpu (imp : import) =
+  let t =
+    {
+      container_id;
+      mem;
+      clock;
+      cfg;
+      segments = imp.i_segments;
+      descs = Hashtbl.create 4096;
+      roots = Hashtbl.create 16;
+      pervcpu;
+      kernel_root = imp.i_kernel_root;
+      template = imp.i_template;
+      kernel_exec_frozen = false;
+      ksm_calls = 0;
+      idt = Hw.Idt.create ();
+    }
+  in
+  build_idt t.idt;
+  (* Declared-PTP metadata (I1/I2 claims) before table contents, so the
+     frame kinds match what the imported trees reference. *)
+  List.iter
+    (fun (pfn, lvl) ->
+      Hashtbl.replace t.descs pfn { state = Guest_ptp lvl; ptp_map_count = 0 };
+      Hw.Phys_mem.set_kind mem pfn (Hw.Phys_mem.Page_table lvl))
+    imp.i_ptps;
+  List.iter
+    (fun (pfn, entries) ->
+      Hw.Phys_mem.clear_table mem pfn;
+      List.iter (fun (index, v) -> write_raw t ~pfn ~index v) entries;
+      Hw.Clock.charge clock "snapshot_restore_table" Hw.Cost.restore_frame)
+    imp.i_tables;
+  List.iter (fun (root, copies) -> Hashtbl.replace t.roots root { copies }) imp.i_roots;
   t.kernel_exec_frozen <- true;
   t
 

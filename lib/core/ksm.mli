@@ -58,6 +58,34 @@ val create :
     the guest kernel's boot address space and its per-vCPU copies, then
     freezes kernel-executable mappings. *)
 
+(** {2 Snapshot restore} *)
+
+type import = {
+  i_segments : (Hw.Addr.pfn * int) list;
+  i_ptps : (Hw.Addr.pfn * int) list;  (** declared PTPs with levels *)
+  i_roots : (Hw.Addr.pfn * Hw.Addr.pfn array) list;  (** root, per-vCPU copies *)
+  i_kernel_root : Hw.Addr.pfn;
+  i_template : (int * int64) list;  (** fixed L4 slots, relocated entries *)
+  i_tables : (Hw.Addr.pfn * (int * int64) list) list;
+      (** every live table's non-empty entries, relocated *)
+}
+
+val restore :
+  Hw.Phys_mem.t ->
+  Hw.Clock.t ->
+  container_id:int ->
+  cfg:Config.t ->
+  pervcpu:Pervcpu.t ->
+  import ->
+  t
+(** Trusted reconstruction from a snapshot (the restore analogue of
+    {!create}): rebuilds the locked IDT deterministically, restores
+    declared-PTP metadata and root registrations, and writes every live
+    table's relocated entries through the monitor.  All frame numbers
+    in [import] must already be relocated; the caller (lib/snapshot)
+    verifies the result with the analysis scanner, so a restore cannot
+    silently violate I1-I3. *)
+
 val owns_frame : t -> Hw.Addr.pfn -> bool
 (** Does [pfn] belong to the container's delegated segments? *)
 

@@ -63,6 +63,32 @@ let create mem ~container_id ~vcpus =
   in
   { areas = Array.init vcpus make_area }
 
+(* Snapshot support: the physical layout of each area (frames + l3
+   subtree root), in vCPU order.  Transient gate state (saved contexts,
+   exit reason, stack depth) is deliberately excluded — a captured
+   container is quiesced, so restore re-zeroes it. *)
+let export t = Array.map (fun a -> (Array.copy a.frames, a.l3_root)) t.areas
+
+(* Rebuild a [t] from already-allocated frames.  The l3/l2/l1 table
+   *contents* are restored separately by the snapshot's generic table
+   import; this only reconstructs the descriptor records. *)
+let import specs =
+  {
+    areas =
+      Array.mapi
+        (fun vcpu (frames, l3_root) ->
+          {
+            vcpu;
+            frames = Array.copy frames;
+            l3_root;
+            saved_guest_context = 0;
+            saved_host_context = 0;
+            exit_reason = None;
+            stack_depth = 0;
+          })
+        specs;
+  }
+
 let vcpus t = Array.length t.areas
 
 let area t vcpu =

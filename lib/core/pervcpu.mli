@@ -30,6 +30,14 @@ val create : Hw.Phys_mem.t -> container_id:int -> vcpus:int -> t
 (** Allocate KSM-owned area frames and build each vCPU's l3/l2/l1
     subtree mapping them (pkey_ksm) at the constant address. *)
 
+val export : t -> (Hw.Addr.pfn array * Hw.Addr.pfn) array
+(** Physical layout per vCPU: (area frames, l3 subtree root). Transient
+    gate state is excluded — capture requires a quiesced container. *)
+
+val import : (Hw.Addr.pfn array * Hw.Addr.pfn) array -> t
+(** Rebuild from already-allocated frames (snapshot restore); table
+    contents are restored separately, transient state re-zeroed. *)
+
 val vcpus : t -> int
 val area : t -> int -> area
 

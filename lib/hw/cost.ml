@@ -170,3 +170,24 @@ let fork_base = 35_000.0
 let execve_base = 120_000.0
 let exit_base = 20_000.0
 let per_pte_copy = 18.0
+
+(* ------------------------------------------------------------------ *)
+(* Container lifecycle: cold boot vs snapshot restore vs warm clone    *)
+(* ------------------------------------------------------------------ *)
+
+(* Cold-booting a guest kernel: decompress + early init + driver probe
+   + rootfs mount.  Firecracker-class microVM kernels land in the
+   ~125 ms range; this is what snapshot restore and warm cloning
+   amortize away. *)
+let guest_kernel_boot = 125_000_000.0
+
+(* Importing one frame from a snapshot image into a freshly delegated
+   segment (allocate + copy + metadata fix-up). *)
+let restore_frame = 120.0
+
+(* Installing one copy-on-write PTE to a shared template frame during a
+   warm clone: refcount bump + write-protected leaf write. *)
+let cow_map_pte = 25.0
+
+(* Breaking a CoW share on first write: allocate + copy the page. *)
+let cow_break_copy = page_zero

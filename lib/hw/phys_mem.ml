@@ -28,6 +28,9 @@ type frame = {
   mutable kind : kind;
   mutable table : int64 array option;  (** entries, for *_table frames *)
   mutable refcount : int;  (** times mapped as a PTP / general pin count *)
+  mutable shared_ro : bool;
+      (** frame is CoW-shared read-only across containers (warm-clone
+          templates): any writable mapping of it is a violation *)
 }
 
 type t = {
@@ -41,7 +44,9 @@ exception Out_of_memory
 let create ~frames:n =
   if n <= 0 then invalid_arg "Phys_mem.create";
   {
-    frames = Array.init n (fun _ -> { owner = Free; kind = Unused; table = None; refcount = 0 });
+    frames =
+      Array.init n (fun _ ->
+          { owner = Free; kind = Unused; table = None; refcount = 0; shared_ro = false });
     total_frames = n;
     next_free = 0;
   }
@@ -73,6 +78,7 @@ let alloc t ~owner ~kind =
   f.kind <- kind;
   f.table <- None;
   f.refcount <- 0;
+  f.shared_ro <- false;
   pfn
 
 (* Allocate [count] physically-contiguous frames; first-fit.  This is
@@ -94,17 +100,21 @@ let alloc_contiguous t ~owner ~kind ~count =
     f.owner <- owner;
     f.kind <- kind;
     f.table <- None;
-    f.refcount <- 0
+    f.refcount <- 0;
+    f.shared_ro <- false
   done;
   base
 
 let free t pfn =
   let f = frame t pfn in
   if f.owner = Free then invalid_arg "Phys_mem.free: double free";
+  if f.shared_ro && f.refcount > 0 then
+    invalid_arg "Phys_mem.free: shared frame still referenced";
   f.owner <- Free;
   f.kind <- Unused;
   f.table <- None;
-  f.refcount <- 0
+  f.refcount <- 0;
+  f.shared_ro <- false
 
 let free_range t ~base ~count =
   for pfn = base to base + count - 1 do
@@ -124,6 +134,8 @@ let decr_ref t pfn =
   f.refcount <- f.refcount - 1
 
 let refcount t pfn = (frame t pfn).refcount
+let set_shared_ro t pfn v = (frame t pfn).shared_ro <- v
+let is_shared_ro t pfn = (frame t pfn).shared_ro
 
 (* Table-frame accessors: the 512-entry PTE array is allocated lazily
    the first time a frame is used as a (EPT/)page-table page. *)

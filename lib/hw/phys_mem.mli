@@ -34,6 +34,9 @@ type frame = {
   mutable kind : kind;
   mutable table : int64 array option;
   mutable refcount : int;
+  mutable shared_ro : bool;
+      (** CoW-shared read-only (warm-clone templates): the invariant
+          scanner flags any writable mapping of such a frame *)
 }
 
 type t
@@ -65,6 +68,12 @@ val set_owner : t -> Addr.pfn -> owner -> unit
 val incr_ref : t -> Addr.pfn -> unit
 val decr_ref : t -> Addr.pfn -> unit
 val refcount : t -> Addr.pfn -> int
+
+val set_shared_ro : t -> Addr.pfn -> bool -> unit
+(** Mark/unmark a frame as CoW-shared read-only. {!free} refuses to
+    release a shared frame whose refcount is still positive. *)
+
+val is_shared_ro : t -> Addr.pfn -> bool
 
 (** {1 Table-frame accessors}
 

@@ -93,6 +93,57 @@ let rec coalesce t pfn order =
     end
     else t.free_lists.(order) <- pfn :: t.free_lists.(order)
 
+let base t = t.base
+
+(* Allocated block heads with orders, sorted — the allocator's logical
+   state for snapshot capture (free lists are derived on restore). *)
+let allocated_blocks t =
+  Hashtbl.fold (fun pfn order acc -> (pfn, order) :: acc) t.order_of []
+  |> List.sort compare
+
+(* Snapshot restore: carve the specific block [pfn, pfn + 2^order) out
+   of a fresh allocator, reproducing the captured allocation pattern. *)
+let reserve t pfn order =
+  if order < 0 || order > max_order then invalid_arg "Buddy.reserve";
+  if (pfn - t.base) land ((1 lsl order) - 1) <> 0 then
+    invalid_arg "Buddy.reserve: misaligned block";
+  (* Find the free block containing [pfn] — it must sit at order >= the
+     requested one for the reservation to be satisfiable. *)
+  let containing =
+    let found = ref None in
+    Array.iteri
+      (fun o lst ->
+        if !found = None && o >= order then
+          List.iter
+            (fun b -> if !found = None && b <= pfn && pfn < b + (1 lsl o) then found := Some (b, o))
+            lst)
+      t.free_lists;
+    match !found with
+    | Some bo -> bo
+    | None -> invalid_arg "Buddy.reserve: block not free"
+  in
+  let b0, o0 = containing in
+  t.free_lists.(o0) <- List.filter (fun p -> p <> b0) t.free_lists.(o0);
+  (* Split down, keeping the halves that do not contain [pfn] free. *)
+  let rec split b o =
+    if o = order then assert (b = pfn)
+    else begin
+      let half = o - 1 in
+      let upper = b + (1 lsl half) in
+      if pfn < upper then begin
+        t.free_lists.(half) <- upper :: t.free_lists.(half);
+        split b half
+      end
+      else begin
+        t.free_lists.(half) <- b :: t.free_lists.(half);
+        split upper half
+      end
+    end
+  in
+  split b0 o0;
+  Hashtbl.replace t.order_of pfn order;
+  t.free_count <- t.free_count - (1 lsl order)
+
 let free t pfn =
   match Hashtbl.find_opt t.order_of pfn with
   | None -> invalid_arg "Buddy.free: not an allocated block head"

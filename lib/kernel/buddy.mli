@@ -27,6 +27,18 @@ val free : t -> Hw.Addr.pfn -> unit
 (** Free a previously allocated block (by its head frame), coalescing
     with free buddies. @raise Invalid_argument on double free. *)
 
+val base : t -> Hw.Addr.pfn
+
+val allocated_blocks : t -> (Hw.Addr.pfn * int) list
+(** Allocated block heads with their orders, sorted — the allocator's
+    logical state for snapshot capture. *)
+
+val reserve : t -> Hw.Addr.pfn -> int -> unit
+(** Snapshot restore: carve the specific block [pfn, pfn + 2{^order})
+    out of the free space, reproducing a captured allocation pattern.
+    @raise Invalid_argument if the block is not entirely free or is
+    misaligned for its order. *)
+
 val check_invariants : t -> bool
 (** Free-list accounting matches the free counter and every free block
     lies inside the range — used by the property tests. *)

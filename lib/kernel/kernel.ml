@@ -56,6 +56,22 @@ let spawn t =
 
 let task t pid = Hashtbl.find_opt t.tasks pid
 
+(* Live tasks sorted by pid — the kernel's task-table state for
+   snapshot capture. *)
+let tasks t =
+  Hashtbl.fold (fun _ task acc -> task :: acc) t.tasks []
+  |> List.sort (fun (a : Task.t) b -> compare a.Task.pid b.Task.pid)
+
+let next_pid t = t.next_pid
+let set_next_pid t pid = t.next_pid <- pid
+
+(* Snapshot restore: adopt an already-reconstructed task at its
+   captured pid. *)
+let restore_task t (task : Task.t) =
+  Hashtbl.replace t.tasks task.Task.pid task;
+  Sched.enqueue t.sched task.Task.pid;
+  if task.Task.pid >= t.next_pid then t.next_pid <- task.Task.pid + 1
+
 (* Touch user memory (demand paging) outside any syscall. *)
 let touch t (task : Task.t) va ~write =
   ignore t;

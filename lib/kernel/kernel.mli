@@ -18,6 +18,16 @@ val spawn : t -> Task.t
 
 val task : t -> int -> Task.t option
 
+val tasks : t -> Task.t list
+(** Live tasks sorted by pid (snapshot capture). *)
+
+val next_pid : t -> int
+val set_next_pid : t -> int -> unit
+
+val restore_task : t -> Task.t -> unit
+(** Snapshot restore: adopt an already-reconstructed task at its
+    captured pid, enqueue it, and keep [next_pid] above it. *)
+
 val touch : t -> Task.t -> Hw.Addr.va -> write:bool -> unit
 (** Touch user memory (demand paging) outside any syscall. *)
 

@@ -5,11 +5,19 @@
    access; an unmapped page inside a VMA takes the platform's full
    page-fault path (this is where RunC / HVM / PVM / CKI differ). *)
 
+(* A copy-on-write page from a warm clone: the PTE (and [pages]) still
+   reference the template's [shared] frame read-only; [own] is this
+   mm's pre-reserved private frame, materialized on first write. *)
+type cow_entry = { shared : Hw.Addr.pfn; own : Hw.Addr.pfn }
+
 type t = {
   platform : Platform.t;
   aspace : Platform.aspace;
   vmas : Vma.t;
   pages : (Hw.Addr.vpn, Hw.Addr.pfn) Hashtbl.t;  (** resident pages *)
+  cow : (Hw.Addr.vpn, cow_entry) Hashtbl.t;  (** un-broken CoW pages *)
+  mutable release_shared : Hw.Addr.pfn -> unit;
+      (** drop one reference on a template frame (set by the clone) *)
   mutable brk : Hw.Addr.va;
   brk_base : Hw.Addr.va;
   mutable mmap_cursor : Hw.Addr.va;
@@ -29,6 +37,8 @@ let create platform =
       aspace;
       vmas = Vma.create ();
       pages = Hashtbl.create 1024;
+      cow = Hashtbl.create 16;
+      release_shared = ignore;
       brk = user_brk_base;
       brk_base = user_brk_base;
       mmap_cursor = user_mmap_base;
@@ -43,14 +53,57 @@ let create platform =
        ~stop:user_stack_top ~prot:Vma.prot_rw ~backing:Vma.Stack);
   t
 
+(* Snapshot restore: bind to an [aspace] whose page tables were already
+   imported wholesale — no as_create, no default stack VMA; the caller
+   replays captured VMAs and resident pages. *)
+let restore platform ~aspace ~brk ~mmap_cursor =
+  {
+    platform;
+    aspace;
+    vmas = Vma.create ();
+    pages = Hashtbl.create 1024;
+    cow = Hashtbl.create 16;
+    release_shared = ignore;
+    brk;
+    brk_base = user_brk_base;
+    mmap_cursor;
+    faults = 0;
+    resident = 0;
+  }
+
 let destroy t =
-  Hashtbl.iter (fun _ pfn -> t.platform.Platform.free_frame pfn) t.pages;
+  Hashtbl.iter
+    (fun vpn pfn ->
+      match Hashtbl.find_opt t.cow vpn with
+      | Some { shared; own } ->
+          t.release_shared shared;
+          t.platform.Platform.free_frame own
+      | None -> t.platform.Platform.free_frame pfn)
+    t.pages;
   Hashtbl.reset t.pages;
+  Hashtbl.reset t.cow;
   t.platform.Platform.as_destroy t.aspace
 
 let aspace t = t.aspace
 let fault_count t = t.faults
 let resident_pages t = t.resident
+let brk_now t = t.brk
+let mmap_cursor_now t = t.mmap_cursor
+let cow_count t = Hashtbl.length t.cow
+let is_cow t vpn = Hashtbl.mem t.cow vpn
+let iter_pages t f = Hashtbl.iter f t.pages
+let iter_vmas t f = Vma.iter t.vmas f
+
+let add_vma t ~start ~stop ~prot ~backing = ignore (Vma.add t.vmas ~start ~stop ~prot ~backing)
+
+(* Register a page as resident without touching the page tables — used
+   by snapshot restore, where the leaf PTEs were imported wholesale. *)
+let adopt_page t ~vpn ~pfn =
+  Hashtbl.replace t.pages vpn pfn;
+  t.resident <- t.resident + 1
+
+let mark_cow t ~vpn ~shared ~own = Hashtbl.replace t.cow vpn { shared; own }
+let set_release_shared t f = t.release_shared <- f
 
 (* mmap: reserve [pages] pages; returns the base va.  No frames are
    allocated until touched. *)
@@ -67,6 +120,31 @@ let mmap t ~pages ~prot ~backing =
 let trace_op op ~vpn ~pages =
   if Hw.Probe.active () then Hw.Probe.emit (Hw.Probe.Mm_op { op; vpn; pages })
 
+exception Segfault of Hw.Addr.va
+
+(* First write to a clone's CoW page: a write fault that copies the
+   template's frame into the pre-reserved private one and swings the
+   PTE — the only divergence cost a warm clone ever pays. *)
+let cow_break t vpn =
+  match Hashtbl.find_opt t.cow vpn with
+  | None -> ()
+  | Some { shared; own } -> (
+      let va = Hw.Addr.va_of_vpn vpn in
+      match Vma.find t.vmas va with
+      | None -> raise (Segfault va)
+      | Some area ->
+          trace_op "cow_break" ~vpn ~pages:1;
+          t.faults <- t.faults + 1;
+          let p = t.platform in
+          p.Platform.fault_round_trip ();
+          Hw.Clock.charge p.Platform.clock "pf_service" p.Platform.fault_service_ns;
+          Hw.Clock.charge p.Platform.clock "cow_break_copy" Hw.Cost.cow_break_copy;
+          p.Platform.pte_install t.aspace ~va ~pfn:own ~writable:area.Vma.prot.Vma.write
+            ~user:true;
+          Hashtbl.replace t.pages vpn own;
+          Hashtbl.remove t.cow vpn;
+          t.release_shared shared)
+
 let munmap t ~start ~pages =
   trace_op "munmap" ~vpn:(Hw.Addr.vpn_of_va start) ~pages;
   let stop = start + (pages * Hw.Addr.page_size) in
@@ -74,22 +152,33 @@ let munmap t ~start ~pages =
   for vpn = Hw.Addr.vpn_of_va start to Hw.Addr.vpn_of_va (stop - 1) do
     match Hashtbl.find_opt t.pages vpn with
     | None -> ()
-    | Some pfn ->
+    | Some pfn -> (
         Hashtbl.remove t.pages vpn;
         t.resident <- t.resident - 1;
         t.platform.Platform.pte_remove t.aspace ~va:(Hw.Addr.va_of_vpn vpn);
-        t.platform.Platform.free_frame pfn
+        match Hashtbl.find_opt t.cow vpn with
+        | Some { shared; own } ->
+            (* Un-broken CoW page: the PTE referenced the template's
+               frame; give that reference back and free our reserve. *)
+            Hashtbl.remove t.cow vpn;
+            t.release_shared shared;
+            t.platform.Platform.free_frame own
+        | None -> t.platform.Platform.free_frame pfn)
   done
 
 let mprotect t ~start ~pages ~prot =
   trace_op "mprotect" ~vpn:(Hw.Addr.vpn_of_va start) ~pages;
   let stop = start + (pages * Hw.Addr.page_size) in
   ignore (Vma.protect t.vmas ~start ~stop ~prot);
-  (* Update PTEs of resident pages in the range. *)
+  (* Update PTEs of resident pages in the range.  Making a CoW page
+     writable must break the share first — the template's frame can
+     never be reachable through a writable PTE. *)
   for vpn = Hw.Addr.vpn_of_va start to Hw.Addr.vpn_of_va (stop - 1) do
-    if Hashtbl.mem t.pages vpn then
+    if Hashtbl.mem t.pages vpn then begin
+      if prot.Vma.write && Hashtbl.mem t.cow vpn then cow_break t vpn;
       t.platform.Platform.pte_protect t.aspace ~va:(Hw.Addr.va_of_vpn vpn)
         ~writable:prot.Vma.write
+    end
   done
 
 let brk t ~delta_pages =
@@ -100,8 +189,6 @@ let brk t ~delta_pages =
   else if delta_pages < 0 then ignore (Vma.remove t.vmas ~start:new_brk ~stop:t.brk);
   t.brk <- new_brk;
   t.brk
-
-exception Segfault of Hw.Addr.va
 
 (* Handle a demand fault on [va]: full platform fault path + service. *)
 let handle_fault t va ~write =
@@ -124,7 +211,7 @@ let handle_fault t va ~write =
 let touch t va ~write =
   let vpn = Hw.Addr.vpn_of_va va in
   match Hashtbl.find_opt t.pages vpn with
-  | Some _ -> ()
+  | Some _ -> if write && Hashtbl.mem t.cow vpn then cow_break t vpn
   | None -> handle_fault t va ~write
 
 (* Touch every page of [start, start + pages).  Returns faults taken. *)

@@ -14,12 +14,49 @@ val user_stack_top : Hw.Addr.va
 val create : Platform.t -> t
 (** Fresh address space with a default stack VMA. *)
 
+val restore : Platform.t -> aspace:Platform.aspace -> brk:Hw.Addr.va -> mmap_cursor:Hw.Addr.va -> t
+(** Snapshot restore: bind to an address space whose page tables were
+    already imported wholesale — no [as_create], no default stack VMA;
+    the caller replays captured VMAs with {!add_vma} and resident pages
+    with {!adopt_page}. *)
+
 val destroy : t -> unit
-(** Free all resident frames and the address space. *)
+(** Free all resident frames and the address space (releasing the
+    template's reference for un-broken CoW pages). *)
 
 val aspace : t -> Platform.aspace
 val fault_count : t -> int
 val resident_pages : t -> int
+val brk_now : t -> Hw.Addr.va
+val mmap_cursor_now : t -> Hw.Addr.va
+
+val iter_pages : t -> (Hw.Addr.vpn -> Hw.Addr.pfn -> unit) -> unit
+(** Iterate resident pages (unspecified order — capture sorts). *)
+
+val iter_vmas : t -> (Vma.area -> unit) -> unit
+
+val add_vma : t -> start:Hw.Addr.va -> stop:Hw.Addr.va -> prot:Vma.prot -> backing:Vma.backing -> unit
+(** Replay a captured VMA (restore path; no platform interaction). *)
+
+val adopt_page : t -> vpn:Hw.Addr.vpn -> pfn:Hw.Addr.pfn -> unit
+(** Register a page as resident without touching the page tables — the
+    restore path, where leaf PTEs were imported wholesale. *)
+
+(** {2 Copy-on-write (warm clones)} *)
+
+val mark_cow : t -> vpn:Hw.Addr.vpn -> shared:Hw.Addr.pfn -> own:Hw.Addr.pfn -> unit
+(** Mark a resident page as CoW: its PTE references the template's
+    [shared] frame read-only; [own] is this mm's pre-reserved private
+    frame, materialized by the first write ({!touch} with [write:true],
+    or an {!mprotect} to writable). *)
+
+val set_release_shared : t -> (Hw.Addr.pfn -> unit) -> unit
+(** How to drop one reference on a template frame (set by the clone). *)
+
+val cow_count : t -> int
+(** Un-broken CoW pages — the part of [resident_pages] still shared. *)
+
+val is_cow : t -> Hw.Addr.vpn -> bool
 
 val mmap : t -> pages:int -> prot:Vma.prot -> backing:Vma.backing -> Hw.Addr.va
 (** Reserve pages (no frames allocated until touched). *)

@@ -39,6 +39,11 @@ let install_fd t obj =
   Hashtbl.replace t.fds fd obj;
   fd
 
+(* Snapshot restore: re-install a descriptor at its captured number. *)
+let restore_fd t ~fd obj =
+  Hashtbl.replace t.fds fd obj;
+  if fd >= t.next_fd then t.next_fd <- fd + 1
+
 let fd t n = Hashtbl.find_opt t.fds n
 let close_fd t n = Hashtbl.remove t.fds n
 let fd_count t = Hashtbl.length t.fds

@@ -27,6 +27,10 @@ type t = {
 
 val create : pid:int -> parent:int -> Mm.t -> t
 val install_fd : t -> fd_object -> int
+
+val restore_fd : t -> fd:int -> fd_object -> unit
+(** Snapshot restore: re-install a descriptor at its captured number,
+    keeping [next_fd] above every restored descriptor. *)
 val fd : t -> int -> fd_object option
 val close_fd : t -> int -> unit
 val fd_count : t -> int

@@ -1,0 +1,19 @@
+(** Minimal JSON emitter for benchmark artifacts ([BENCH_*.json]).
+
+    Emission only — nothing in the repo parses JSON back, so there is
+    no decoder and no external dependency. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of value list
+  | Obj of (string * value) list
+
+val to_string : value -> string
+(** Pretty-printed (2-space indent), newline-terminated. Non-finite
+    floats emit [null]. *)
+
+val write_file : string -> value -> unit

@@ -1,0 +1,36 @@
+(** Capture a quiesced CKI container into a position-independent image.
+
+    The walk starts from the monitor's registered roots (kernel root
+    first, then address-space roots in id order, each followed by its
+    per-vCPU copies) and records every reachable page table in
+    discovery order — a canonical order, so re-capturing a restored
+    container yields a byte-identical image.  A completeness sweep over
+    the whole frame array then proves closure: every frame the
+    container owns outside its delegated segments (KSM-private state,
+    the kernel image) must have been reached, and no referenced frame
+    may belong to anyone else. *)
+
+type error =
+  | Cow_pending of int
+      (** A task still shares CoW frames with a template; capture
+          requires a fully-materialized container. *)
+  | Unsupported_fd of { pid : int; fd : int }
+      (** Pipes and sockets are connection state, not image state. *)
+  | Foreign_frame of Hw.Addr.pfn
+      (** A page table references a frame outside the container. *)
+  | Unreachable_frame of Hw.Addr.pfn
+      (** A container-owned frame no root reaches — the image would
+          silently leak it. *)
+  | Unregistered_root of Hw.Addr.pfn
+
+val show_error : error -> string
+
+type map = {
+  m_seg_bases : Hw.Addr.pfn array;  (** segment index -> live base *)
+  m_aux : Hw.Addr.pfn array;  (** aux index -> live frame *)
+}
+(** Where the image's frames live in the captured container — consumed
+    by the warm-clone path, which shares those frames CoW. *)
+
+val capture_full : Cki.Container.t -> (Image.t * map, error) result
+val capture : Cki.Container.t -> (Image.t, error) result

@@ -1,0 +1,14 @@
+(* The warm pool: pre-frozen templates serving spawn_fast.
+
+   A thin instantiation of [Cki.Host.Warm_pool] (which is polymorphic
+   so lib/core does not depend on lib/snapshot) at [Template.t]:
+   templates are immutable once frozen, so the pool rotates them and
+   every spawn_fast is a warm clone. *)
+
+type t = { pool : Template.t Cki.Host.Warm_pool.t }
+
+let create ~target ~make = { pool = Cki.Host.Warm_pool.create ~target ~make }
+let spawn_fast ?verify t = Template.clone ?verify (Cki.Host.Warm_pool.take t.pool)
+let size t = Cki.Host.Warm_pool.size t.pool
+let prebooted t = Cki.Host.Warm_pool.prebooted t.pool
+let served t = Cki.Host.Warm_pool.served t.pool

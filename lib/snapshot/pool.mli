@@ -1,0 +1,18 @@
+(** Warm pool of frozen templates serving instant scale-out.
+
+    {!Cki.Host.Warm_pool} instantiated at {!Template.t}: [create]
+    pre-boots and freezes [target] templates; {!spawn_fast} rotates to
+    the next one and warm-clones it, paying neither guest-kernel boot
+    nor full-image copy. *)
+
+type t
+
+val create : target:int -> make:(unit -> Template.t) -> t
+(** [make] typically boots a container, runs its init workload, then
+    {!Template.create}s it; it must raise on failure. *)
+
+val spawn_fast : ?verify:bool -> t -> (Cki.Container.t, Template.error) result
+
+val size : t -> int
+val prebooted : t -> int
+val served : t -> int
