@@ -118,6 +118,45 @@ let build_subtree t ~va_base ~pages ~frame_of ~pkey ~user ~writable ~nx =
 let ksm_code_pages = 16
 let kernel_image_pages = 64
 
+(* Direct map of the delegated hPA segments (4-KiB PTEs so declared
+   PTPs can be individually re-tagged pkey_ptp).  The layout is a pure
+   function of the segment bases (va = direct_map_base + pa), which is
+   why snapshot restore rebuilds it from the *new* segments instead of
+   importing the captured subtree: imported leaves would still key on
+   the old machine's PAs and every later retag (I2) would miss. *)
+let build_direct_map t segments =
+  let seg_frames = List.concat_map (fun (b, n) -> List.init n (fun i -> b + i)) segments in
+  let seg_array = Array.of_list seg_frames in
+  match segments with
+  | [] -> invalid_arg "Ksm: no delegated segments"
+  | (base, _) :: _ ->
+      build_subtree t
+        ~va_base:(Layout.direct_va_of_pa (Hw.Addr.pa_of_pfn base))
+        ~pages:(Array.length seg_array)
+        ~frame_of:(fun i -> seg_array.(i))
+        ~pkey:Hw.Pks.pkey_guest ~user:false ~writable:true ~nx:true
+
+(* Find the direct-map leaf location of [pfn] so its pkey can be
+   retagged; the direct map is KSM-built, so the walk is internal. *)
+let direct_map_leaf t pfn =
+  let va = Layout.direct_va_of_pa (Hw.Addr.pa_of_pfn pfn) in
+  let rec go lvl table =
+    let idx = Hw.Addr.index_at_level ~lvl va in
+    if lvl = 1 then (table, idx)
+    else
+      let e = read_raw t ~pfn:table ~index:idx in
+      if not (Hw.Pte.is_present e) then invalid_arg "Ksm: frame missing from direct map"
+      else go (lvl - 1) (Hw.Pte.pfn e)
+  in
+  go 4 t.kernel_root
+
+let retag_direct_map t pfn ~pkey =
+  match direct_map_leaf t pfn with
+  | table, idx ->
+      let e = read_raw t ~pfn:table ~index:idx in
+      write_raw t ~pfn:table ~index:idx (Hw.Pte.with_pkey e pkey)
+  | exception Invalid_argument _ -> ()
+
 (* The container IDT lives in KSM memory: all hardware vectors request
    IST + the PKS-switch extension (Section 4.4); page fault + #GP
    vector to the guest kernel's own handlers (fast path, no PKS
@@ -175,20 +214,7 @@ let create mem clock ~container_id ~cfg ~segments =
       ~frame_of:(fun i -> image_frames.(i))
       ~pkey:Hw.Pks.pkey_guest ~user:false ~writable:false ~nx:false
   in
-  (* Direct map of the delegated hPA segments (4-KiB PTEs so declared
-     PTPs can be individually re-tagged pkey_ptp). *)
-  let seg_frames = List.concat_map (fun (b, n) -> List.init n (fun i -> b + i)) segments in
-  let seg_array = Array.of_list seg_frames in
-  let direct_l3 =
-    match segments with
-    | [] -> invalid_arg "Ksm.create: no delegated segments"
-    | (base, _) :: _ ->
-        build_subtree t
-          ~va_base:(Layout.direct_va_of_pa (Hw.Addr.pa_of_pfn base))
-          ~pages:(Array.length seg_array)
-          ~frame_of:(fun i -> seg_array.(i))
-          ~pkey:Hw.Pks.pkey_guest ~user:false ~writable:true ~nx:true
-  in
+  let direct_l3 = build_direct_map t segments in
   let mk_link pfn = Hw.Pte.make ~pfn ~flags:{ Hw.Pte.default_flags with writable = true } in
   let template =
     [
@@ -230,7 +256,9 @@ type import = {
   i_ptps : (Hw.Addr.pfn * int) list;  (** declared PTPs with levels *)
   i_roots : (Hw.Addr.pfn * Hw.Addr.pfn array) list;  (** root, per-vCPU copies *)
   i_kernel_root : Hw.Addr.pfn;
-  i_template : (int * int64) list;  (** fixed L4 slots, relocated entries *)
+  i_template : (int * int64) list;
+      (** fixed L4 slots, relocated entries — {e without} the direct-map
+          slot, whose subtree is rebuilt from [i_segments] here *)
   i_tables : (Hw.Addr.pfn * (int * int64) list) list;
       (** every live table's non-empty entries, relocated *)
 }
@@ -268,8 +296,37 @@ let restore mem clock ~container_id ~cfg ~pervcpu (imp : import) =
       Hw.Clock.charge clock "snapshot_restore_table" Hw.Cost.restore_frame)
     imp.i_tables;
   List.iter (fun (root, copies) -> Hashtbl.replace t.roots root { copies }) imp.i_roots;
+  (* The direct map is never imported: its VA layout keys on physical
+     addresses (va = direct_map_base + pa), so a relocated import would
+     leave leaves filed under the old machine's PAs — and every
+     post-restore PTP declaration would retag the wrong leaf (or none),
+     leaving a guest-writable alias of a page-table page.  Rebuild it
+     from the new segment bases and splice it into every root. *)
+  let direct_l3 = build_direct_map t imp.i_segments in
+  let rec charge_direct lvl pfn =
+    Hw.Clock.charge clock "snapshot_restore_table" Hw.Cost.restore_frame;
+    if lvl > 1 then
+      for idx = 0 to Hw.Addr.entries_per_table - 1 do
+        let e = read_raw t ~pfn ~index:idx in
+        if Hw.Pte.is_present e then charge_direct (lvl - 1) (Hw.Pte.pfn e)
+      done
+  in
+  charge_direct 3 direct_l3;
+  let direct_link =
+    Hw.Pte.make ~pfn:direct_l3 ~flags:{ Hw.Pte.default_flags with writable = true }
+  in
+  write_raw t ~pfn:t.kernel_root ~index:Layout.l4_direct direct_link;
+  List.iter
+    (fun (root, copies) ->
+      write_raw t ~pfn:root ~index:Layout.l4_direct direct_link;
+      Array.iter (fun copy -> write_raw t ~pfn:copy ~index:Layout.l4_direct direct_link) copies)
+    imp.i_roots;
+  (* Re-establish I2 in the fresh direct map: every declared PTP's leaf
+     is retagged pkey_ptp, exactly as declare_ptp did on the captured
+     machine. *)
+  List.iter (fun (pfn, _lvl) -> retag_direct_map t pfn ~pkey:Hw.Pks.pkey_ptp) imp.i_ptps;
   t.kernel_exec_frozen <- true;
-  t
+  { t with template = (Layout.l4_direct, direct_link) :: imp.i_template }
 
 (* ------------------------------------------------------------------ *)
 (* Gate-accounted entry points                                         *)
@@ -298,27 +355,6 @@ let trace_downgrade t ~root ~va ~unmapped =
     Hw.Probe.emit
       (Hw.Probe.Pte_downgrade
          { container = t.container_id; root; vpn = Hw.Addr.vpn_of_va va; unmapped })
-
-(* Find the direct-map leaf location of [pfn] so its pkey can be
-   retagged; the direct map is KSM-built, so the walk is internal. *)
-let direct_map_leaf t pfn =
-  let va = Layout.direct_va_of_pa (Hw.Addr.pa_of_pfn pfn) in
-  let rec go lvl table =
-    let idx = Hw.Addr.index_at_level ~lvl va in
-    if lvl = 1 then (table, idx)
-    else
-      let e = read_raw t ~pfn:table ~index:idx in
-      if not (Hw.Pte.is_present e) then invalid_arg "Ksm: frame missing from direct map"
-      else go (lvl - 1) (Hw.Pte.pfn e)
-  in
-  go 4 t.kernel_root
-
-let retag_direct_map t pfn ~pkey =
-  match direct_map_leaf t pfn with
-  | table, idx ->
-      let e = read_raw t ~pfn:table ~index:idx in
-      write_raw t ~pfn:table ~index:idx (Hw.Pte.with_pkey e pkey)
-  | exception Invalid_argument _ -> ()
 
 (* Declare [pfn] as a PTP at [level] (invariants I1 + I2). *)
 let declare_ptp t ~pfn ~level : (unit, error) result =

@@ -65,7 +65,9 @@ type import = {
   i_ptps : (Hw.Addr.pfn * int) list;  (** declared PTPs with levels *)
   i_roots : (Hw.Addr.pfn * Hw.Addr.pfn array) list;  (** root, per-vCPU copies *)
   i_kernel_root : Hw.Addr.pfn;
-  i_template : (int * int64) list;  (** fixed L4 slots, relocated entries *)
+  i_template : (int * int64) list;
+      (** fixed L4 slots, relocated entries — {e without} the direct-map
+          slot, whose subtree is rebuilt from [i_segments] *)
   i_tables : (Hw.Addr.pfn * (int * int64) list) list;
       (** every live table's non-empty entries, relocated *)
 }
@@ -81,10 +83,15 @@ val restore :
 (** Trusted reconstruction from a snapshot (the restore analogue of
     {!create}): rebuilds the locked IDT deterministically, restores
     declared-PTP metadata and root registrations, and writes every live
-    table's relocated entries through the monitor.  All frame numbers
-    in [import] must already be relocated; the caller (lib/snapshot)
-    verifies the result with the analysis scanner, so a restore cannot
-    silently violate I1-I3. *)
+    table's relocated entries through the monitor.  The direct map is
+    {e not} imported: its VA layout keys on physical addresses
+    (va = direct_map_base + pa), so it is rebuilt from the new segment
+    bases, spliced into every root and per-vCPU copy, and every
+    declared PTP's fresh leaf is retagged pkey_ptp — so PTPs declared
+    {e after} restore keep hitting the right leaf (I2).  All frame
+    numbers in [import] must already be relocated; the caller
+    (lib/snapshot) verifies the result with the analysis scanner, so a
+    restore cannot silently violate I1-I3. *)
 
 val owns_frame : t -> Hw.Addr.pfn -> bool
 (** Does [pfn] belong to the container's delegated segments? *)

@@ -16,6 +16,9 @@ type t = {
   vmas : Vma.t;
   pages : (Hw.Addr.vpn, Hw.Addr.pfn) Hashtbl.t;  (** resident pages *)
   cow : (Hw.Addr.vpn, cow_entry) Hashtbl.t;  (** un-broken CoW pages *)
+  frozen : (Hw.Addr.vpn, unit) Hashtbl.t;
+      (** template pages whose frames live clones share read-only: a
+          write is a fault, mirroring the hardware PTE downgrade *)
   mutable release_shared : Hw.Addr.pfn -> unit;
       (** drop one reference on a template frame (set by the clone) *)
   mutable brk : Hw.Addr.va;
@@ -38,6 +41,7 @@ let create platform =
       vmas = Vma.create ();
       pages = Hashtbl.create 1024;
       cow = Hashtbl.create 16;
+      frozen = Hashtbl.create 16;
       release_shared = ignore;
       brk = user_brk_base;
       brk_base = user_brk_base;
@@ -63,6 +67,7 @@ let restore platform ~aspace ~brk ~mmap_cursor =
     vmas = Vma.create ();
     pages = Hashtbl.create 1024;
     cow = Hashtbl.create 16;
+    frozen = Hashtbl.create 16;
     release_shared = ignore;
     brk;
     brk_base = user_brk_base;
@@ -104,6 +109,13 @@ let adopt_page t ~vpn ~pfn =
 
 let mark_cow t ~vpn ~shared ~own = Hashtbl.replace t.cow vpn { shared; own }
 let set_release_shared t f = t.release_shared <- f
+
+(* Template freeze: the hardware PTE was downgraded read-only through
+   the KSM; record it here so the model faults on a write too, instead
+   of silently "succeeding" into a frame that live clones share. *)
+let freeze_page t ~vpn = Hashtbl.replace t.frozen vpn ()
+let is_frozen t vpn = Hashtbl.mem t.frozen vpn
+let frozen_count t = Hashtbl.length t.frozen
 
 (* mmap: reserve [pages] pages; returns the base va.  No frames are
    allocated until touched. *)
@@ -169,6 +181,12 @@ let munmap t ~start ~pages =
 let mprotect t ~start ~pages ~prot =
   trace_op "mprotect" ~vpn:(Hw.Addr.vpn_of_va start) ~pages;
   let stop = start + (pages * Hw.Addr.page_size) in
+  (* A frozen template page can never become writable again: its frame
+     is shared read-only with live clones. *)
+  if prot.Vma.write then
+    for vpn = Hw.Addr.vpn_of_va start to Hw.Addr.vpn_of_va (stop - 1) do
+      if Hashtbl.mem t.frozen vpn then raise (Segfault (Hw.Addr.va_of_vpn vpn))
+    done;
   ignore (Vma.protect t.vmas ~start ~stop ~prot);
   (* Update PTEs of resident pages in the range.  Making a CoW page
      writable must break the share first — the template's frame can
@@ -207,11 +225,17 @@ let handle_fault t va ~write =
       Hashtbl.replace t.pages (Hw.Addr.vpn_of_va va) pfn;
       t.resident <- t.resident + 1
 
-(* Access the page containing [va], demand-faulting if needed. *)
+(* Access the page containing [va], demand-faulting if needed.  A
+   write to a frozen template page faults: the hardware PTE was
+   downgraded read-only when the template froze, and the frame is
+   shared with live clones. *)
 let touch t va ~write =
   let vpn = Hw.Addr.vpn_of_va va in
   match Hashtbl.find_opt t.pages vpn with
-  | Some _ -> if write && Hashtbl.mem t.cow vpn then cow_break t vpn
+  | Some _ ->
+      if write then
+        if Hashtbl.mem t.frozen vpn then raise (Segfault va)
+        else if Hashtbl.mem t.cow vpn then cow_break t vpn
   | None -> handle_fault t va ~write
 
 (* Touch every page of [start, start + pages).  Returns faults taken. *)

@@ -53,6 +53,15 @@ val mark_cow : t -> vpn:Hw.Addr.vpn -> shared:Hw.Addr.pfn -> own:Hw.Addr.pfn -> 
 val set_release_shared : t -> (Hw.Addr.pfn -> unit) -> unit
 (** How to drop one reference on a template frame (set by the clone). *)
 
+val freeze_page : t -> vpn:Hw.Addr.vpn -> unit
+(** Template freeze: mirror the KSM's read-only downgrade of this
+    resident page in the model, so a later write ({!touch} with
+    [write:true], or an {!mprotect} to writable) raises {!Segfault}
+    instead of silently mutating a frame that live clones share. *)
+
+val is_frozen : t -> Hw.Addr.vpn -> bool
+val frozen_count : t -> int
+
 val cow_count : t -> int
 (** Un-broken CoW pages — the part of [resident_pages] still shared. *)
 

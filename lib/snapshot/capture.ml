@@ -85,8 +85,13 @@ let capture_full (c : Cki.Container.t) : (Image.t * map, error) result =
       let entries = ref [] in
       let children = ref [] in
       for idx = 0 to Hw.Addr.entries_per_table - 1 do
+        (* The direct-map subtree is deliberately not captured: its VA
+           layout keys on this machine's physical addresses
+           (va = direct_map_base + pa), so Ksm.restore rebuilds it from
+           the new segment bases instead of relocating stale keys. *)
+        let skip = lvl = Hw.Addr.levels && idx = Cki.Layout.l4_direct in
         let e = Hw.Phys_mem.read_entry mem ~pfn ~index:idx in
-        if Hw.Pte.is_present e then begin
+        if (not skip) && Hw.Pte.is_present e then begin
           let target = Hw.Pte.pfn e in
           entries :=
             { Image.e_index = idx; e_bits = Image.strip_pfn e; e_target = ref_of target } :: !entries;
@@ -132,26 +137,44 @@ let capture_full (c : Cki.Container.t) : (Image.t * map, error) result =
     List.iter
       (fun (root, _) -> if not (Hashtbl.mem visited root) then raise (Fail (Unregistered_root root)))
       (Cki.Ksm.roots ksm);
+    (* The direct-map interior tables are KSM-owned but excluded from
+       the image (restore rebuilds them); exempt them from the closure
+       sweep below. *)
+    let direct_tables : (Hw.Addr.pfn, unit) Hashtbl.t = Hashtbl.create 64 in
+    let rec collect_direct lvl pfn =
+      if not (Hashtbl.mem direct_tables pfn) then begin
+        Hashtbl.replace direct_tables pfn ();
+        if lvl > 1 then
+          for idx = 0 to Hw.Addr.entries_per_table - 1 do
+            let e = Hw.Phys_mem.read_entry mem ~pfn ~index:idx in
+            if Hw.Pte.is_present e then collect_direct (lvl - 1) (Hw.Pte.pfn e)
+          done
+      end
+    in
+    let direct_link = Hw.Phys_mem.read_entry mem ~pfn:kroot ~index:Cki.Layout.l4_direct in
+    if Hw.Pte.is_present direct_link then collect_direct 3 (Hw.Pte.pfn direct_link);
     (* Completeness: every frame this container owns outside its
        segments must be in the auxiliary table by now. *)
     for pfn = 0 to Hw.Phys_mem.total_frames mem - 1 do
       match Hw.Phys_mem.owner mem pfn with
       | Hw.Phys_mem.Ksm k when k = id ->
-          if not (Hashtbl.mem aux_ids pfn) then raise (Fail (Unreachable_frame pfn))
+          if not (Hashtbl.mem aux_ids pfn || Hashtbl.mem direct_tables pfn) then
+            raise (Fail (Unreachable_frame pfn))
       | Hw.Phys_mem.Container k when k = id && not (Cki.Ksm.owns_frame ksm pfn) ->
           if not (Hashtbl.mem aux_ids pfn) then raise (Fail (Unreachable_frame pfn))
       | _ -> ()
     done;
-    (* Monitor metadata. *)
+    (* Monitor metadata.  The direct-map template slot is omitted along
+       with its subtree. *)
     let ptps =
       Cki.Ksm.declared_ptps ksm |> List.map (fun (pfn, lvl) -> (ref_of pfn, lvl)) |> List.sort compare
     in
     let template =
-      List.map
-        (fun slot ->
-          let e = Hw.Phys_mem.read_entry mem ~pfn:kroot ~index:slot in
-          (slot, Image.strip_pfn e, ref_of (Hw.Pte.pfn e)))
-        (Cki.Ksm.template_slots ksm)
+      Cki.Ksm.template_slots ksm
+      |> List.filter (fun slot -> slot <> Cki.Layout.l4_direct)
+      |> List.map (fun slot ->
+             let e = Hw.Phys_mem.read_entry mem ~pfn:kroot ~index:slot in
+             (slot, Image.strip_pfn e, ref_of (Hw.Pte.pfn e)))
     in
     let pervcpu =
       Array.map

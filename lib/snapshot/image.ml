@@ -88,7 +88,10 @@ type t = {
   files : (string * string) list;  (** tmpfs regular files with contents *)
 }
 
-let version = 1
+(* v2: the direct-map subtree (tables + template slot) left the image —
+   its VA layout keys on physical addresses, so restore rebuilds it
+   from the new segment bases instead of relocating stale keys. *)
+let version = 2
 let magic = "CKI-SNAPSHOT"
 
 (* Frame field of a PTE: bits 12..50 (mirrors Hw.Pte's encoding). *)
@@ -363,7 +366,9 @@ let decode s =
     let roots =
       repeat nroots (fun () ->
           match expect "r" (next ()) with
-          | frame :: _n :: copies ->
+          | frame :: n :: copies ->
+              if int_of_string n <> List.length copies then
+                raise (Bad (Malformed "root copy count"));
               { r_frame = fref_of_str frame; r_copies = Array.of_list (List.map fref_of_str copies) }
           | _ -> raise (Bad (Malformed "root")))
     in
@@ -393,7 +398,9 @@ let decode s =
       Array.of_list
         (repeat nvcpu (fun () ->
              match expect "v" (next ()) with
-             | l3 :: _n :: frames ->
+             | l3 :: n :: frames ->
+                 if int_of_string n <> List.length frames then
+                   raise (Bad (Malformed "pervcpu frame count"));
                  { a_l3 = fref_of_str l3; a_frames = Array.of_list (List.map fref_of_str frames) }
              | _ -> raise (Bad (Malformed "pervcpu"))))
     in

@@ -18,12 +18,15 @@
     per-vCPU copy coherence exactly; the restore path re-verifies this
     with the analysis scanner rather than trusting the image.
 
-    {b Wire form.} Line-oriented text: a [CKI-SNAPSHOT v1] magic line,
-    an FNV-1a-64 checksum of the payload, then the payload with every
-    unordered collection sorted — encoding is a pure function of the
-    logical container state, so capture∘restore∘capture is
-    byte-identical.  Excluded by design: container id, PCID, clock time
-    and TLB contents (an empty TLB on restore is just a full flush). *)
+    {b Wire form.} Line-oriented text: a [CKI-SNAPSHOT v<n>] magic
+    line, an FNV-1a-64 checksum of the payload, then the payload with
+    every unordered collection sorted — encoding is a pure function of
+    the logical container state, so capture∘restore∘capture is
+    byte-identical.  Excluded by design: container id, PCID, clock
+    time, TLB contents (an empty TLB on restore is just a full flush)
+    and the guest kernel's direct map — its VA layout keys on physical
+    addresses, so {!Cki.Ksm.restore} rebuilds it from the new segment
+    bases rather than relocating stale keys. *)
 
 type fref = Seg of { seg : int; off : int } | Aux of int
 
@@ -81,7 +84,8 @@ type t = {
   aux : aux_kind array;
   ptps : (fref * int) list;  (** declared PTPs with levels, sorted *)
   kernel_root : fref;
-  template : (int * int64 * fref) list;  (** fixed L4 slots *)
+  template : (int * int64 * fref) list;
+      (** fixed L4 slots, without the rebuilt direct-map slot *)
   roots : root list;  (** kernel root first, then aspace roots by id *)
   tables : table list;  (** canonical traversal order *)
   pervcpu : vcpu_area array;

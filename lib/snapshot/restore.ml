@@ -39,6 +39,29 @@ let rebuild ?(env = Virt.Env.Bare_metal) ~verify ~share (host : Cki.Host.t) (ima
   let clock = Hw.Machine.clock machine in
   let cfg = image.Image.cfg in
   let container_id = Cki.Host.fresh_container_id host in
+  (* Every reference taken on a template frame, so a failed rebuild can
+     give them back. *)
+  let taken = ref [] in
+  let take_ref pfn =
+    Hw.Phys_mem.incr_ref mem pfn;
+    taken := pfn :: !taken
+  in
+  (* Undo a partial rebuild: drop template references, reclaim the
+     delegated segment(s), and free every frame the aborted container
+     still owns (auxiliary frames, KSM-private state, fresh direct-map
+     tables).  The fresh container id and PCID number are burned, but
+     no memory leaks and no refcount stays inflated. *)
+  let rollback () =
+    List.iter (fun pfn -> Hw.Phys_mem.decr_ref mem pfn) !taken;
+    Cki.Host.reclaim_segment host ~container:container_id;
+    for pfn = 0 to Hw.Phys_mem.total_frames mem - 1 do
+      match Hw.Phys_mem.owner mem pfn with
+      | (Hw.Phys_mem.Ksm k | Hw.Phys_mem.Container k) when k = container_id ->
+          Hw.Phys_mem.free mem pfn
+      | _ -> ()
+    done
+  in
+  try
   let pcid = Hw.Machine.fresh_pcid machine in
   let bases =
     Array.map
@@ -53,7 +76,7 @@ let rebuild ?(env = Virt.Env.Bare_metal) ~verify ~share (host : Cki.Host.t) (ima
         match (kind, share) with
         | Image.Kernel_code, Some (_, orig_aux) ->
             let pfn = orig_aux.(i) in
-            Hw.Phys_mem.incr_ref mem pfn;
+            take_ref pfn;
             pfn
         | _ ->
             let owner, k =
@@ -94,7 +117,7 @@ let rebuild ?(env = Virt.Env.Bare_metal) ~verify ~share (host : Cki.Host.t) (ima
               | Some orig ->
                   (* Share the template's frame read-only; the first
                      write breaks CoW through the KSM path. *)
-                  Hw.Phys_mem.incr_ref mem orig;
+                  take_ref orig;
                   Hw.Clock.charge clock "snapshot_cow_map" Hw.Cost.cow_map_pte;
                   (e.Image.e_index, Hw.Pte.with_writable (Image.with_pfn e.Image.e_bits orig) false)
               | None -> (e.Image.e_index, Image.with_pfn e.Image.e_bits (reloc e.Image.e_target)))
@@ -217,6 +240,9 @@ let rebuild ?(env = Virt.Env.Bare_metal) ~verify ~share (host : Cki.Host.t) (ima
                    { Analysis.violations; lints = [] })))
   end;
   c
+  with e ->
+    rollback ();
+    raise e
 
 let restore ?env ?(verify = true) host image =
   match rebuild ?env ~verify ~share:None host image with

@@ -65,6 +65,9 @@ let freeze (c : Cki.Container.t) (image : Image.t) (map : Capture.map) =
             (Cki.Ksm.guest_protect ksm ~root:kroot ~va:dva ~writable:false);
           invlpg_all va;
           invlpg_all dva;
+          (* Mirror the downgrade in the mm model: a template write must
+             fault, not silently hit a frame the clones share. *)
+          Kernel_model.Mm.freeze_page mm ~vpn;
           Hw.Phys_mem.set_shared_ro mem pfn true)
         (List.sort compare !pages))
     (Kernel_model.Kernel.tasks kernel);

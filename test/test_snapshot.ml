@@ -302,6 +302,155 @@ let test_acceptance_ratios () =
   check int "all three clean" 0
     (List.length (Analysis.check_machine ~containers:[ c0; restored; clone ]))
 
+(* Regression for the direct-map relocation bug: the direct map's VA
+   layout keys on physical addresses, so a restored container must get
+   one rebuilt from its *new* segment bases — otherwise the first
+   post-restore PTP declaration retags the wrong direct-map leaf (or
+   none at all) and leaves a guest-writable alias of a page-table page.
+   600 fresh pages cross a 512-entry L1 boundary, forcing the guest
+   kernel to declare a brand-new page-table page through the KSM. *)
+let grow_fresh_ptp c =
+  let b = Cki.Container.backend c in
+  let task = first_task c in
+  match
+    Virt.Backend.syscall_exn b task
+      (Kernel_model.Syscall.Mmap { pages = 600; prot = Kernel_model.Vma.prot_rw })
+  with
+  | Kernel_model.Syscall.Rint base ->
+      ignore
+        (Kernel_model.Mm.touch_range task.Kernel_model.Task.mm ~start:base ~pages:600 ~write:true)
+  | _ -> fail "mmap"
+
+let test_restored_ptp_declaration () =
+  let host = mk_host ~mem_mib:512 () in
+  let c0 = boot_ready host in
+  let tpl = template_exn c0 in
+  let image = Snapshot.Template.image tpl in
+  let restored = restore_exn host image in
+  grow_fresh_ptp restored;
+  check int "restored container clean after fresh PTP" 0
+    (List.length (Analysis.check_machine ~containers:[ restored ]));
+  let clone = clone_exn tpl in
+  grow_fresh_ptp clone;
+  check int "clone clean after fresh PTP" 0
+    (List.length (Analysis.check_machine ~containers:[ clone ]));
+  (* Cross-machine: the segment lands at a different hPA, so a stale
+     (relocated-but-not-rekeyed) direct map could not be correct. *)
+  let host2 = mk_host ~mem_mib:512 () in
+  ignore
+    (Cki.Host.delegate_segment host2 ~container:(Cki.Host.fresh_container_id host2) ~frames:160);
+  let restored2 = restore_exn host2 image in
+  grow_fresh_ptp restored2;
+  check int "cross-machine restore clean after fresh PTP" 0
+    (List.length (Analysis.check_machine ~containers:[ restored2 ]));
+  (* Template.freeze walks the direct map of the container it freezes:
+     freezing a *restored* container exercises the rebuilt map end to
+     end, and its clones must still be able to grow. *)
+  let tpl2 = template_exn restored2 in
+  let clone2 = clone_exn tpl2 in
+  grow_fresh_ptp clone2;
+  check int "clone of a restored-then-frozen template clean" 0
+    (List.length (Analysis.check_machine ~containers:[ restored2; clone2 ]))
+
+(* A frozen template's pages are read-only to the template itself: the
+   hardware PTEs were downgraded, so the mm model must fault on writes
+   too instead of silently mutating frames that live clones share. *)
+let test_template_write_faults () =
+  let host = mk_host () in
+  let c0 = boot_ready host in
+  let tpl = template_exn c0 in
+  let mm = (first_task (Snapshot.Template.container tpl)).Kernel_model.Task.mm in
+  let va = Kernel_model.Mm.user_mmap_base in
+  check bool "resident pages are frozen" true
+    (Kernel_model.Mm.frozen_count mm >= 64
+    && Kernel_model.Mm.is_frozen mm (Hw.Addr.vpn_of_va va));
+  (* Reads still work; writes fault like the downgraded PTE would. *)
+  Kernel_model.Mm.touch mm va ~write:false;
+  check_raises "template write faults" (Kernel_model.Mm.Segfault va) (fun () ->
+      Kernel_model.Mm.touch mm va ~write:true);
+  check_raises "mprotect-to-writable refused" (Kernel_model.Mm.Segfault va) (fun () ->
+      Kernel_model.Mm.mprotect mm ~start:va ~pages:1 ~prot:Kernel_model.Vma.prot_rw)
+
+(* A restore that fails verification must roll back completely: no
+   leaked frames, no inflated template refcounts — a host that keeps
+   receiving bad images must not bleed memory. *)
+let test_failed_restore_rollback () =
+  let host = mk_host ~mem_mib:512 () in
+  let c0 = boot_ready host in
+  let mem = Hw.Machine.mem (Cki.Host.machine host) in
+  let tpl = template_exn c0 in
+  let image = Snapshot.Template.image tpl in
+  let map = Snapshot.Template.map tpl in
+  (* An image claiming no PTPs rebuilds into a container the scanner
+     rejects: its page tables are all undeclared. *)
+  let bad = { image with Snapshot.Image.ptps = [] } in
+  let vpn0 = Hw.Addr.vpn_of_va Kernel_model.Mm.user_mmap_base in
+  let shared = ref (-1) in
+  Kernel_model.Mm.iter_pages (first_task c0).Kernel_model.Task.mm (fun v p ->
+      if v = vpn0 then shared := p);
+  let free0 = Hw.Phys_mem.free_frames mem in
+  let rc0 = Hw.Phys_mem.refcount mem !shared in
+  for _ = 1 to 3 do
+    (match Snapshot.Restore.restore host bad with
+    | Error (Snapshot.Restore.Verify_failed _) -> ()
+    | Ok _ -> fail "restore of an image with no declared PTPs must fail verification"
+    | Error e -> fail ("unexpected restore error: " ^ Snapshot.Restore.show_error e));
+    match
+      Snapshot.Restore.clone_of host bad ~orig_seg_bases:map.Snapshot.Capture.m_seg_bases
+        ~orig_aux:map.Snapshot.Capture.m_aux
+    with
+    | Error (Snapshot.Restore.Verify_failed _) -> ()
+    | Ok _ -> fail "clone of an image with no declared PTPs must fail verification"
+    | Error e -> fail ("unexpected clone error: " ^ Snapshot.Restore.show_error e)
+  done;
+  check int "repeated failed restores leak no frames" free0 (Hw.Phys_mem.free_frames mem);
+  check int "failed clones release template references" rc0 (Hw.Phys_mem.refcount mem !shared);
+  (* The host is still healthy: a good restore succeeds afterwards. *)
+  check int "subsequent good restore clean" 0
+    (List.length (Analysis.check_machine ~containers:[ restore_exn host image ]))
+
+(* Declared element counts are enforced: a root or per-vCPU line whose
+   count disagrees with its actual list is malformed, even with a valid
+   checksum. *)
+let test_decode_count_mismatch () =
+  let host = mk_host () in
+  let image = capture_exn (boot_ready host) in
+  let enc = Snapshot.Image.encode image in
+  let tamper prefix f =
+    let lines = String.split_on_char '\n' enc in
+    let magic = List.hd lines in
+    let payload = List.filteri (fun i _ -> i >= 2) lines in
+    let hit = ref false in
+    let payload =
+      List.map
+        (fun l ->
+          if (not !hit) && String.length l > 2 && String.sub l 0 2 = prefix then begin
+            hit := true;
+            f l
+          end
+          else l)
+        payload
+    in
+    if not !hit then fail ("no line with prefix " ^ prefix);
+    let body = String.concat "\n" payload in
+    String.concat "\n"
+      [ magic; Printf.sprintf "checksum %016Lx" (Snapshot.Image.fnv1a64 body); body ]
+  in
+  let bump_count l =
+    match String.split_on_char ' ' l with
+    | tag :: frame :: n :: rest ->
+        String.concat " " (tag :: frame :: string_of_int (int_of_string n + 1) :: rest)
+    | _ -> fail ("unexpected line: " ^ l)
+  in
+  let expect_malformed name s =
+    match Snapshot.Image.decode s with
+    | Error (Snapshot.Image.Malformed _) -> ()
+    | Error e -> fail (name ^ ": wrong error: " ^ Snapshot.Image.show_decode_error e)
+    | Ok _ -> fail (name ^ ": mismatched count accepted")
+  in
+  expect_malformed "root copy count" (tamper "r " bump_count);
+  expect_malformed "pervcpu frame count" (tamper "v " bump_count)
+
 let suite =
   [
     ( "snapshot",
@@ -314,5 +463,10 @@ let suite =
         test_case "warm pool pre-boots and rotates" `Quick test_warm_pool_counts;
         test_case "buddy reserve replays allocations" `Quick test_buddy_reserve;
         test_case "acceptance: speedups and memory ratio" `Quick test_acceptance_ratios;
+        test_case "post-restore PTP declaration hits the rebuilt direct map" `Quick
+          test_restored_ptp_declaration;
+        test_case "frozen template writes fault" `Quick test_template_write_faults;
+        test_case "failed restores roll back cleanly" `Quick test_failed_restore_rollback;
+        test_case "declared counts are enforced in decode" `Quick test_decode_count_mismatch;
       ] );
   ]
