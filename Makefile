@@ -1,4 +1,4 @@
-.PHONY: all build test check examples ci fmt clean
+.PHONY: all build test check examples ci fmt mutants clean
 
 all: build
 
@@ -10,12 +10,19 @@ test: build
 
 # Full verification: build, test suite, then every example scenario and
 # the demo subcommands under --check (whole-machine invariant scan +
-# probe-trace lint; any finding is a non-zero exit).
+# probe-trace lint; any finding is a non-zero exit), and a bounded
+# model-check of the privilege state space (exit 2 on counterexample).
 check: test examples
 	dune exec bin/cki_demo.exe -- micro --check
 	dune exec bin/cki_demo.exe -- attack --check
 	dune exec bin/cki_demo.exe -- kv --check --clients 8
 	dune exec bin/cki_demo.exe -- clone --check
+	dune exec bin/cki_demo.exe -- model-check --depth 8
+
+# Mutation testing: every seeded enforcement mutant must be killed by
+# the model checker (exit 1 if any survives).
+mutants: build
+	dune exec bin/cki_demo.exe -- model-check --mutants
 
 # Formatting check; a no-op (with a note) where ocamlformat is not
 # installed, so `ci` works in minimal containers too.

@@ -11,8 +11,8 @@
      dune exec bench/main.exe list       # list experiment ids
 
    --json additionally writes machine-readable results for the benches
-   that support it: snapshot -> BENCH_snapshot.json, micro ->
-   BENCH_micro.json. *)
+   that support it: snapshot -> BENCH_snapshot.json, modelcheck ->
+   BENCH_modelcheck.json, micro -> BENCH_micro.json. *)
 
 (* Table 2's primitives, re-measured into a JSON artifact. *)
 let micro_json () =
@@ -50,6 +50,9 @@ let () =
     | "snapshot" ->
         Snap_bench.run ~json ();
         true
+    | "modelcheck" ->
+        Mc_bench.run ~json ();
+        true
     | "micro" ->
         if json then micro_json ()
         else Printf.printf "micro: use --json to write BENCH_micro.json (table form is table2)\n";
@@ -59,7 +62,7 @@ let () =
   match args with
   | [ "list" ] ->
       List.iter (fun (name, _) -> print_endline name) Experiments.all;
-      List.iter print_endline [ "snapshot"; "micro"; "simbench" ]
+      List.iter print_endline [ "snapshot"; "modelcheck"; "micro"; "simbench" ]
   | [] ->
       Printf.printf "CKI (EuroSys'25) reproduction — full benchmark run\n";
       Printf.printf "===================================================\n";
@@ -69,6 +72,7 @@ let () =
           flush stdout)
         Experiments.all;
       Snap_bench.run ~json ();
+      Mc_bench.run ~json ();
       if json then micro_json ();
       Simbench.run ()
   | names ->

@@ -7,10 +7,12 @@
      cki_demo snapshot [--out FILE]
      cki_demo restore  [--in FILE]
      cki_demo clone    [--clones N] [--warm K]
+     cki_demo model-check [--depth N] [--nest N] [--mutants]
 
-   Exit codes: 0 success; 1 usage/command-line errors or an unreadable
-   or corrupt snapshot image; 2 when --check finds invariant violations
-   or lint findings.
+   Exit codes: 0 success; 1 usage/command-line errors, an unreadable
+   or corrupt snapshot image, or a surviving mutant; 2 when --check
+   finds invariant violations or lint findings, or when model-check
+   finds a counterexample.
 
    (The full table/figure regeneration lives in bench/main.exe.) *)
 
@@ -206,6 +208,43 @@ let clone_cmd_impl clones warm check =
     (!total /. float_of_int (max 1 clones))
 
 (* ------------------------------------------------------------------ *)
+(* Model checking                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let model_check depth nest mutants =
+  let config =
+    {
+      Modelcheck.Transition.default_config with
+      Modelcheck.Transition.depth;
+      nest_bound = nest;
+    }
+  in
+  let r = Modelcheck.Explore.run_standalone ~config () in
+  let s = r.Modelcheck.Explore.stats in
+  Printf.printf
+    "explored %d states / %d transitions to depth %d (peak frontier %d) in %.2f s\n\n"
+    s.Modelcheck.Explore.states s.Modelcheck.Explore.transitions
+    s.Modelcheck.Explore.depth_reached s.Modelcheck.Explore.peak_frontier
+    s.Modelcheck.Explore.elapsed_s;
+  print_string (Modelcheck.Cex.report r);
+  let survivors =
+    if not mutants then false
+    else begin
+      let verdicts = Modelcheck.Mutants.run_all () in
+      Printf.printf "\n%s\n" (Modelcheck.Mutants.summary verdicts);
+      List.iter
+        (fun (v : Modelcheck.Mutants.verdict) ->
+          match v.Modelcheck.Mutants.cex with
+          | Some cex -> Printf.printf "\n[%s]\n%s" v.Modelcheck.Mutants.mutant.Modelcheck.Mutants.id (Modelcheck.Cex.render cex)
+          | None -> ())
+        verdicts;
+      not (Modelcheck.Mutants.all_killed verdicts)
+    end
+  in
+  if not (Modelcheck.Explore.ok r) then exit 2;
+  if survivors then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -263,9 +302,47 @@ let clone_cmd =
        ~doc:"Pre-boot frozen templates into a warm pool and serve CoW clones from it.")
     Term.(const clone_cmd_impl $ clones $ warm $ check_arg)
 
+let model_check_cmd =
+  let depth =
+    Arg.(
+      value
+      & opt int Modelcheck.Transition.default_config.Modelcheck.Transition.depth
+      & info [ "d"; "depth" ] ~doc:"BFS depth bound, in transitions.")
+  in
+  let nest =
+    Arg.(
+      value
+      & opt int Modelcheck.Transition.default_config.Modelcheck.Transition.nest_bound
+      & info [ "nest" ] ~doc:"Max in-flight PKS-switch deliveries per vCPU.")
+  in
+  let mutants =
+    Arg.(
+      value & flag
+      & info [ "mutants" ]
+          ~doc:
+            "Also run the mutation harness: each seeded policy mutant must be killed with a \
+             counterexample; a survivor exits 1.")
+  in
+  Cmd.v
+    (Cmd.info "model-check" ~exits
+       ~doc:
+         "Exhaustively explore the bounded privilege state space of a CKI container, checking \
+          the E1-E4/gate safety properties on every reachable state and edge.  Exits 2 when a \
+          counterexample is found (rendered as a shortest violating trace).")
+    Term.(const model_check $ depth $ nest $ mutants)
+
 let () =
   let doc = "CKI (EuroSys'25) reproduction demo driver" in
   exit
     (Cmd.eval ~term_err:1
        (Cmd.group (Cmd.info "cki_demo" ~doc ~exits)
-          [ micro_cmd; attack_cmd; policy_cmd; kv_cmd; snapshot_cmd; restore_cmd; clone_cmd ]))
+          [
+            micro_cmd;
+            attack_cmd;
+            policy_cmd;
+            kv_cmd;
+            snapshot_cmd;
+            restore_cmd;
+            clone_cmd;
+            model_check_cmd;
+          ]))

@@ -22,9 +22,13 @@ type result = {
 }
 
 let check_machine ~containers = Invariants.check_machine ~containers
-let lint_trace trace = Lint.run (Trace.events trace)
+let lint_trace trace = Lint.run ~dropped:(Trace.dropped trace) (Trace.events trace)
 
-let is_clean r = match (r.violations, r.lints) with [], [] -> true | _ -> false
+(* Trace_truncated is informational (the recorder overflowed; coverage
+   is reduced, nothing was violated) — it must not fail --check runs. *)
+let fatal_lint = function Lint.Trace_truncated _ -> false | _ -> true
+
+let is_clean r = r.violations = [] && not (List.exists fatal_lint r.lints)
 
 let findings r =
   List.map
@@ -39,8 +43,11 @@ let findings r =
     r.violations
   @ List.map
       (fun f ->
-        Report.Findings.make ~severity:Report.Findings.Critical ~rule:(Lint.rule_name f)
-          ~subject:(Lint.subject f) ~detail:(Lint.show_finding f))
+        let severity =
+          if fatal_lint f then Report.Findings.Critical else Report.Findings.Info
+        in
+        Report.Findings.make ~severity ~rule:(Lint.rule_name f) ~subject:(Lint.subject f)
+          ~detail:(Lint.show_finding f))
       r.lints
 
 let report ?(title = "CKI invariant check") r = Report.Findings.render ~title (findings r)

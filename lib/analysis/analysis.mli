@@ -28,13 +28,19 @@ val check_machine : containers:Cki.Container.t list -> Invariants.violation list
 (** Sanitize live machine state: {!Invariants.check_machine}. *)
 
 val lint_trace : Trace.t -> Lint.finding list
-(** Run the temporal rules over a captured event stream. *)
+(** Run the temporal rules over a captured event stream, passing the
+    recorder's drop count so ring-buffer truncation is surfaced as a
+    [Lint.Trace_truncated] finding. *)
 
 val is_clean : result -> bool
+(** No violations and no fatal lints. [Lint.Trace_truncated] is
+    informational (reduced coverage, not a violation) and does not
+    make a result unclean. *)
 
 val findings : result -> Report.Findings.t list
 (** Both halves' findings as report rows ([Maps_declared_ptp] is the
-    only warning; everything else is critical). *)
+    only warning, [Trace_truncated] the only info; everything else is
+    critical). *)
 
 val report : ?title:string -> result -> string
 

@@ -7,6 +7,7 @@ type finding =
   | Missing_shootdown of { container : int; cpu : int; pcid : int; vpn : int }
   | Forged_pks_switch of { cpu : int; vector : int; pkrs_before : int; pkrs_after : int }
   | Wrpkrs_outside_gate of { cpu : int; value : int }
+  | Trace_truncated of { dropped : int; withdrawn : int }
 [@@deriving show { with_path = false }, eq]
 
 let rule_name = function
@@ -16,6 +17,7 @@ let rule_name = function
   | Missing_shootdown _ -> "missing-shootdown"
   | Forged_pks_switch _ -> "E4-forged-pks-switch"
   | Wrpkrs_outside_gate _ -> "E1-wrpkrs-outside-gate"
+  | Trace_truncated _ -> "trace-truncated"
 
 let subject = function
   | Destructive_exec { cpu; _ }
@@ -25,6 +27,7 @@ let subject = function
   | Wrpkrs_outside_gate { cpu; _ } ->
       Printf.sprintf "cpu %d" cpu
   | Missing_shootdown { container; cpu; _ } -> Printf.sprintf "container %d cpu %d" container cpu
+  | Trace_truncated _ -> "recorder"
 
 (* The shootdown rule needs the fill/invalidate history per (cpu, pcid)
    and the container -> pcid correlation from Container_boot events. *)
@@ -42,9 +45,13 @@ let fills_of st key =
       Hashtbl.replace st.fills key s;
       s
 
-let run (events : Hw.Probe.event list) : finding list =
+let run ?(dropped = 0) (events : Hw.Probe.event list) : finding list =
   let out = ref [] in
   let add f = out := f :: !out in
+  (* Rule suppressions caused by the truncated prefix, reported
+     alongside the drop count so a clean verdict on a truncated trace
+     is visibly weaker than one on a complete trace. *)
+  let withdrawn = ref 0 in
   let st = { c2p = Hashtbl.create 8; fills = Hashtbl.create 16; pending = Hashtbl.create 16 } in
   (* Per-CPU gate nesting depth, for the wrpkrs-outside-gate rule. *)
   let depth : (int, int) Hashtbl.t = Hashtbl.create 8 in
@@ -68,11 +75,15 @@ let run (events : Hw.Probe.event list) : finding list =
           if pkrs <> 0 && not if_after then add (Sysret_if_down { cpu; pkrs })
       | Hw.Probe.Gate_enter { cpu; _ } -> Hashtbl.replace depth cpu (get_depth cpu + 1)
       | Hw.Probe.Gate_exit { cpu; gate; entry_pkrs; pkrs } ->
-          if get_depth cpu = 0 then
+          if get_depth cpu = 0 then begin
             (* Unmatched exit: the enter (and anything between) fell
                off the ring buffer — withdraw wrpkrs candidates that
                may have been inside that gate. *)
+            (match Hashtbl.find_opt wrpkrs_cands cpu with
+            | Some cands -> withdrawn := !withdrawn + List.length cands
+            | None -> ());
             Hashtbl.remove wrpkrs_cands cpu
+          end
           else Hashtbl.replace depth cpu (get_depth cpu - 1);
           if pkrs <> entry_pkrs then
             add
@@ -128,4 +139,5 @@ let run (events : Hw.Probe.event list) : finding list =
   Hashtbl.iter
     (fun cpu values -> List.iter (fun value -> add (Wrpkrs_outside_gate { cpu; value })) values)
     wrpkrs_cands;
+  if dropped > 0 then add (Trace_truncated { dropped; withdrawn = !withdrawn });
   List.rev !out

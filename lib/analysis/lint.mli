@@ -24,6 +24,11 @@ type finding =
   | Wrpkrs_outside_gate of { cpu : int; value : int }
       (** a PKRS write executed outside any switch gate — only gate
           text may contain wrpkrs (no-new-kernel-exec invariant) *)
+  | Trace_truncated of { dropped : int; withdrawn : int }
+      (** the recorder's ring buffer overflowed: [dropped] events were
+          lost, and [withdrawn] wrpkrs-outside-gate candidates were
+          suppressed because the truncation made their gate context
+          unknowable — informational, not a violation *)
 
 val pp_finding : Format.formatter -> finding -> unit
 val show_finding : finding -> string
@@ -32,7 +37,11 @@ val equal_finding : finding -> finding -> bool
 val rule_name : finding -> string
 val subject : finding -> string
 
-val run : Hw.Probe.event list -> finding list
+val run : ?dropped:int -> Hw.Probe.event list -> finding list
 (** Single pass over the events (oldest first). Tolerates truncated
     traces: rules that need a matching earlier event suppress rather
-    than guess when the prefix may have been dropped. *)
+    than guess when the prefix may have been dropped. Pass
+    [~dropped] (the recorder's {!Trace.dropped} count, default 0) to
+    surface truncation itself: when positive, a [Trace_truncated]
+    finding reports the drop count and how many rule candidates the
+    suppression logic withdrew because of it. *)

@@ -38,7 +38,10 @@ let switch_pks (cpu : Hw.Cpu.t) ~target ?tamper () : (unit, error) result =
   let written = match tamper with Some v -> v | None -> target in
   match Hw.Cpu.exec_priv cpu (Hw.Priv.Wrpkrs written) with
   | Error _ -> Error Not_kernel_mode
-  | Ok () -> if cpu.Hw.Cpu.pkrs <> target then Error Pkrs_tamper_detected else Ok ()
+  | Ok () ->
+      if cpu.Hw.Cpu.pkrs <> target && Hw.Mutation.knobs.Hw.Mutation.gate_verify_wrpkrs then
+        Error Pkrs_tamper_detected
+      else Ok ()
 
 (* KSM call gate (Figure 8a).  Runs [f] with monitor rights on the
    vCPU's secure stack.  [tamper_entry]/[tamper_exit] simulate an
@@ -84,8 +87,11 @@ let ksm_call (t : t) (cpu : Hw.Cpu.t) ~vcpu ?tamper_entry ?tamper_exit (f : unit
             Ok result
         | Error e -> abort e)
 
-(* Hypercall gate (Figure 8b, left): full exit to the host kernel. *)
-let hypercall (t : t) (cpu : Hw.Cpu.t) ~vcpu ~(request : Kernel_model.Platform.io_kind)
+(* Hypercall gate (Figure 8b, left): full exit to the host kernel.
+   [tamper_entry]/[tamper_exit] simulate an attacker reaching either
+   wrpkrs with a chosen register value, exactly as in [ksm_call]. *)
+let hypercall (t : t) (cpu : Hw.Cpu.t) ~vcpu ?tamper_entry ?tamper_exit
+    ~(request : Kernel_model.Platform.io_kind)
     (host_handler : Kernel_model.Platform.io_kind -> unit) : (unit, error) result =
   if cpu.Hw.Cpu.mode <> Hw.Cpu.Kernel then Error Not_kernel_mode
   else
@@ -93,10 +99,14 @@ let hypercall (t : t) (cpu : Hw.Cpu.t) ~vcpu ~(request : Kernel_model.Platform.i
     let guest_cr3 = cpu.Hw.Cpu.cr3 in
     let guest_pcid = cpu.Hw.Cpu.pcid in
     trace_enter cpu Hw.Probe.Hypercall_gate ~pkrs:guest_pkrs;
-    match switch_pks cpu ~target:Hw.Pks.all_access () with
-    | Error e ->
-        trace_exit cpu Hw.Probe.Hypercall_gate ~entry_pkrs:guest_pkrs;
-        Error e
+    let abort e =
+      if e = Pkrs_tamper_detected then t.tampers_blocked <- t.tampers_blocked + 1;
+      cpu.Hw.Cpu.pkrs <- guest_pkrs;
+      trace_exit cpu Hw.Probe.Hypercall_gate ~entry_pkrs:guest_pkrs;
+      Error e
+    in
+    match switch_pks cpu ~target:Hw.Pks.all_access ?tamper:tamper_entry () with
+    | Error e -> abort e
     | Ok () ->
         let area = Pervcpu.area (Ksm.pervcpu t.ksm) vcpu in
         area.Pervcpu.exit_reason <- Some (Pervcpu.Exit_hypercall request);
@@ -110,9 +120,11 @@ let hypercall (t : t) (cpu : Hw.Cpu.t) ~vcpu ~(request : Kernel_model.Platform.i
         cpu.Hw.Cpu.cr3 <- guest_cr3;
         cpu.Hw.Cpu.pcid <- guest_pcid;
         area.Pervcpu.exit_reason <- None;
-        let r = match switch_pks cpu ~target:guest_pkrs () with Ok () -> Ok () | Error e -> Error e in
-        trace_exit cpu Hw.Probe.Hypercall_gate ~entry_pkrs:guest_pkrs;
-        r
+        (match switch_pks cpu ~target:guest_pkrs ?tamper:tamper_exit () with
+        | Ok () ->
+            trace_exit cpu Hw.Probe.Hypercall_gate ~entry_pkrs:guest_pkrs;
+            Ok ()
+        | Error e -> abort e)
 
 (* Interrupt gate (Figure 8b, right).  [kind] is how control reached
    the gate: [Hardware] delivery applies extension E4 (PKRS saved and
@@ -131,7 +143,10 @@ let interrupt (t : t) (cpu : Hw.Cpu.t) ~vcpu ~vector ~(kind : Hw.Idt.delivery)
   trace_enter cpu Hw.Probe.Interrupt_gate ~pkrs:expected_pkrs;
   (* First gate action: save IRQ info into the per-vCPU area.  With
      PKRS still at PKRS_GUEST (forged entry) this access faults. *)
-  if not (Pervcpu.accessible_with ~pkrs:cpu.Hw.Cpu.pkrs) then begin
+  if
+    Hw.Mutation.knobs.Hw.Mutation.gate_forgery_check
+    && not (Pervcpu.accessible_with ~pkrs:cpu.Hw.Cpu.pkrs)
+  then begin
     t.forged_interrupts_blocked <- t.forged_interrupts_blocked + 1;
     trace_exit cpu Hw.Probe.Interrupt_gate ~entry_pkrs:expected_pkrs;
     Error Forgery_detected

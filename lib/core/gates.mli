@@ -53,12 +53,17 @@ val hypercall :
   t ->
   Hw.Cpu.t ->
   vcpu:int ->
+  ?tamper_entry:Hw.Pks.rights ->
+  ?tamper_exit:Hw.Pks.rights ->
   request:Kernel_model.Platform.io_kind ->
   (Kernel_model.Platform.io_kind -> unit) ->
   (unit, error) result
 (** Full exit to the host kernel: saves the guest context in the
     per-vCPU area, switches to the host CR3/PCID, runs the host
-    handler, restores. Charges {!Hw.Cost.cki_hypercall}. *)
+    handler, restores. Charges {!Hw.Cost.cki_hypercall}.
+    [tamper_entry]/[tamper_exit] simulate an attacker reaching either
+    wrpkrs with a chosen register value, as in {!ksm_call}; a detected
+    tamper aborts with guest rights restored. *)
 
 val interrupt :
   t ->

@@ -85,7 +85,11 @@ let exec_priv t (inst : Priv.t) : (unit, fault) result =
            })
   in
   if t.mode <> Kernel then Error (Not_kernel_mode inst)
-  else if t.pkrs <> Pks.all_access && Priv.blocked_in_guest inst then begin
+  else if
+    t.pkrs <> Pks.all_access
+    && Mutation.e2_blocks ~mnemonic:(Priv.mnemonic inst)
+         ~policy_blocked:(Priv.blocked_in_guest inst)
+  then begin
     trace ~blocked:true;
     Clock.count t.clock "priv_inst_blocked";
     Error (Blocked_instruction inst)
@@ -104,7 +108,7 @@ let exec_priv t (inst : Priv.t) : (unit, fault) result =
     | Priv.Sysret ->
         t.mode <- User;
         (* E3: IF stays on when a deprivileged kernel returns. *)
-        if t.pkrs <> Pks.all_access then t.if_flag <- true;
+        if t.pkrs <> Pks.all_access && Mutation.knobs.Mutation.e3_pin_if then t.if_flag <- true;
         if Probe.active () then
           Probe.emit (Probe.Sysret { cpu = t.id; pkrs = t.pkrs; if_after = t.if_flag })
     | Priv.Sti -> t.if_flag <- true
@@ -126,7 +130,7 @@ let exec_priv t (inst : Priv.t) : (unit, fault) result =
         (match t.saved_pkrs with
         | [] -> ()
         | r :: rest ->
-            t.pkrs <- r;
+            if Mutation.knobs.Mutation.e4_restore_on_iret then t.pkrs <- r;
             t.saved_pkrs <- rest);
         if Probe.active () then
           Probe.emit (Probe.Iret { cpu = t.id; pkrs_before = before; pkrs_after = t.pkrs }))
@@ -219,7 +223,7 @@ let syscall_entry t =
    when the vectoring IDT entry carries the pks_switch attribute. *)
 let hw_interrupt_entry t ~pks_switch =
   if pks_switch then begin
-    t.saved_pkrs <- t.pkrs :: t.saved_pkrs;
+    if Mutation.knobs.Mutation.e4_save_on_delivery then t.saved_pkrs <- t.pkrs :: t.saved_pkrs;
     t.pkrs <- Pks.all_access
   end;
   t.mode <- Kernel;

@@ -54,6 +54,9 @@ let deliver t cpu ~kind v =
       | Software ->
           if (not e.user_invocable) && cpu.Cpu.mode = Cpu.User then
             raise (Cpu.Fault (Cpu.Priv_page_violation 0))
+          else if Mutation.knobs.Mutation.software_pks_switch && e.pks_switch then
+            (* mutant: software vectoring wrongly takes the E4 switch *)
+            Cpu.hw_interrupt_entry cpu ~pks_switch:true
           else cpu.Cpu.mode <- Cpu.Kernel);
       if Probe.active () then
         Probe.emit

@@ -84,3 +84,12 @@ let active () = match !sink with None -> false | Some _ -> true
 let emit ev = match !sink with None -> () | Some f -> f ev
 let set_sink f = sink := Some f
 let clear_sink () = sink := None
+
+(* Run [f] with no sink installed, restoring the previous one after —
+   the model checker's state-space exploration replays millions of
+   probe-instrumented transitions and must not flood a recorder the
+   surrounding scenario attached. *)
+let suspended f =
+  let saved = !sink in
+  sink := None;
+  Fun.protect ~finally:(fun () -> sink := saved) f

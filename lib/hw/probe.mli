@@ -65,3 +65,8 @@ val set_sink : (event -> unit) -> unit
 (** Install a sink (the trace recorder). Replaces any previous one. *)
 
 val clear_sink : unit -> unit
+
+val suspended : (unit -> 'a) -> 'a
+(** [suspended f] runs [f] with no sink installed and restores the
+    previous sink afterwards (even on exception). Used by the model
+    checker so exploration does not flood an attached recorder. *)

@@ -1,0 +1,49 @@
+(* Counterexample rendering: the shortest violating path, as recorded
+   by the BFS predecessor map, rendered as numbered steps plus a
+   Report.Findings entry per violated property. *)
+
+let render_step i (s : Explore.trace_step) =
+  Printf.sprintf "    %2d. [vcpu%d] %-34s %s\n        -> %s" i s.Explore.vcpu
+    (Action.show s.Explore.action)
+    (match s.Explore.outcome with
+    | Transition.Completed -> "completed"
+    | Transition.Trapped r -> Printf.sprintf "trapped (%s)" r)
+    (State.show s.Explore.state)
+
+let render (cex : Explore.counterexample) =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "%s violated on vcpu%d: %s\n"
+       (Property.name cex.Explore.violation.Property.property)
+       cex.Explore.violation.Property.vcpu cex.Explore.violation.Property.detail);
+  Buffer.add_string b
+    (Printf.sprintf "  shortest counterexample (%d step%s):\n"
+       (List.length cex.Explore.steps)
+       (if List.length cex.Explore.steps = 1 then "" else "s"));
+  Buffer.add_string b (Printf.sprintf "    init     %s\n" (State.show cex.Explore.init));
+  List.iteri
+    (fun i s -> Buffer.add_string b (render_step (i + 1) s ^ "\n"))
+    cex.Explore.steps;
+  Buffer.contents b
+
+let finding (cex : Explore.counterexample) =
+  Report.Findings.make ~severity:Report.Findings.Critical
+    ~rule:(Property.name cex.Explore.violation.Property.property)
+    ~subject:
+      (Printf.sprintf "vcpu%d, depth %d" cex.Explore.violation.Property.vcpu
+         (List.length cex.Explore.steps))
+    ~detail:cex.Explore.violation.Property.detail
+
+let findings (r : Explore.result) = List.map finding r.Explore.violations
+
+(* The full model-check report: the findings block, then one rendered
+   counterexample per violated property. *)
+let report ?(title = "CKI model check") (r : Explore.result) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Report.Findings.render ~title (findings r));
+  List.iter
+    (fun cex ->
+      Buffer.add_char b '\n';
+      Buffer.add_string b (render cex))
+    r.Explore.violations;
+  Buffer.contents b

@@ -1,0 +1,138 @@
+(* Memoized breadth-first exploration of the privilege state space.
+
+   Determinism: the frontier is a FIFO queue, actions are enumerated
+   in the fixed order [Transition.enabled] defines, and nothing ever
+   iterates a hash table for output — so state counts, edge counts and
+   the violation list (with its shortest counterexamples) are
+   identical across runs.  BFS also guarantees minimality: when a
+   property first fires, no shorter path to any violation of that
+   property exists. *)
+
+module Tbl = Hashtbl.Make (struct
+  type t = State.t
+
+  let equal = State.equal
+  let hash = State.hash
+end)
+
+type stats = {
+  states : int;  (** distinct abstract states reached *)
+  transitions : int;  (** edges executed *)
+  depth_reached : int;
+  peak_frontier : int;
+  elapsed_s : float;
+}
+
+type trace_step = {
+  vcpu : int;
+  action : Action.t;
+  outcome : Transition.outcome;
+  state : State.t;  (** the state after this step *)
+}
+
+type counterexample = {
+  violation : Property.violation;
+  init : State.t;
+  steps : trace_step list;  (** shortest path from [init]; the last step exhibits it *)
+}
+
+type result = {
+  config : Transition.config;
+  initial : State.t;
+  stats : stats;
+  violations : counterexample list;  (** at most one (the first = shortest) per property *)
+}
+
+let ok r = r.violations = []
+
+type pred = { prev : State.t; via_vcpu : int; via_action : Action.t; via_outcome : Transition.outcome }
+
+let run ?(config = Transition.default_config) (c : Cki.Container.t) : result =
+  Hw.Probe.suspended @@ fun () ->
+  let t0 = Sys.time () in
+  let ctx = Transition.make_ctx ~config c in
+  let cpus = ctx.Transition.cpus in
+  let n = Array.length cpus in
+  let initial = State.capture cpus ~gate_ctx:(Array.make n []) in
+  let depth_of : int Tbl.t = Tbl.create 4096 in
+  let preds : pred Tbl.t = Tbl.create 4096 in
+  let rec path_to st acc =
+    match Tbl.find_opt preds st with
+    | None -> acc
+    | Some p ->
+        path_to p.prev
+          ({ vcpu = p.via_vcpu; action = p.via_action; outcome = p.via_outcome; state = st }
+          :: acc)
+  in
+  let violations = ref [] in
+  let seen_prop prop =
+    List.exists (fun cex -> Property.equal_id cex.violation.Property.property prop) !violations
+  in
+  let record_state_violations st =
+    List.iter
+      (fun (vi : Property.violation) ->
+        if not (seen_prop vi.Property.property) then
+          violations := { violation = vi; init = initial; steps = path_to st [] } :: !violations)
+      (Property.check_state st)
+  in
+  let record_edge_violations ~pre ~vcpu ~action ~(step : Transition.step) =
+    List.iter
+      (fun (vi : Property.violation) ->
+        if not (seen_prop vi.Property.property) then
+          let steps =
+            path_to pre []
+            @ [ { vcpu; action; outcome = step.Transition.outcome; state = step.Transition.post } ]
+          in
+          violations := { violation = vi; init = initial; steps } :: !violations)
+      (Property.check_edge ~pre ~vcpu ~action ~step)
+  in
+  let q = Queue.create () in
+  Tbl.add depth_of initial 0;
+  record_state_violations initial;
+  Queue.add initial q;
+  let transitions = ref 0 and peak = ref 1 and depth_reached = ref 0 in
+  while not (Queue.is_empty q) do
+    let st = Queue.pop q in
+    let d = Tbl.find depth_of st in
+    if d > !depth_reached then depth_reached := d;
+    if d < config.Transition.depth then
+      for vcpu = 0 to n - 1 do
+        List.iter
+          (fun action ->
+            let step = Transition.apply ctx st ~vcpu action in
+            incr transitions;
+            record_edge_violations ~pre:st ~vcpu ~action ~step;
+            let post = step.Transition.post in
+            if not (Tbl.mem depth_of post) then begin
+              Tbl.add depth_of post (d + 1);
+              Tbl.add preds post
+                { prev = st; via_vcpu = vcpu; via_action = action; via_outcome = step.Transition.outcome };
+              record_state_violations post;
+              Queue.add post q;
+              let len = Queue.length q in
+              if len > !peak then peak := len
+            end)
+          (Transition.enabled config st ~vcpu)
+      done
+  done;
+  (* leave the container exactly as we found it *)
+  State.restore initial cpus;
+  let stats =
+    {
+      states = Tbl.length depth_of;
+      transitions = !transitions;
+      depth_reached = !depth_reached;
+      peak_frontier = !peak;
+      elapsed_s = Sys.time () -. t0;
+    }
+  in
+  { config; initial; stats; violations = List.rev !violations }
+
+(* A small dedicated container: exploration only exercises privilege
+   state, so a minimal segment keeps boot (and therefore mutant runs)
+   fast without changing the explored space. *)
+let explore_container () =
+  let cfg = { Cki.Config.default with Cki.Config.segment_frames = 2048 } in
+  Cki.Container.create_standalone ~cfg ~mem_mib:128 ()
+
+let run_standalone ?config () = run ?config (explore_container ())

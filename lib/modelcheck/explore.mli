@@ -1,0 +1,47 @@
+(** Memoized breadth-first exploration of the privilege state space,
+    checking every {!Property} on every reachable state and edge.
+    Deterministic: FIFO frontier, fixed action order, no hash-table
+    iteration for output — identical counts and findings across runs;
+    BFS makes the first counterexample per property the shortest. *)
+
+type stats = {
+  states : int;  (** distinct abstract states reached *)
+  transitions : int;  (** edges executed *)
+  depth_reached : int;
+  peak_frontier : int;
+  elapsed_s : float;
+}
+
+type trace_step = {
+  vcpu : int;
+  action : Action.t;
+  outcome : Transition.outcome;
+  state : State.t;  (** the state after this step *)
+}
+
+type counterexample = {
+  violation : Property.violation;
+  init : State.t;
+  steps : trace_step list;  (** shortest path from [init]; the last step exhibits it *)
+}
+
+type result = {
+  config : Transition.config;
+  initial : State.t;
+  stats : stats;
+  violations : counterexample list;  (** at most one (the shortest) per property *)
+}
+
+val ok : result -> bool
+(** No property violated anywhere in the explored space. *)
+
+val run : ?config:Transition.config -> Cki.Container.t -> result
+(** Explore from the container's current vCPU state (suspending any
+    probe sink); the container's vCPUs are restored afterwards, so
+    exploration is side-effect-free on it. *)
+
+val explore_container : unit -> Cki.Container.t
+(** A minimal standalone container for exploration (small delegated
+    segment — privilege state does not depend on memory size). *)
+
+val run_standalone : ?config:Transition.config -> unit -> result

@@ -1,0 +1,165 @@
+(* The mutation-testing harness: each mutant disables exactly one
+   enforcement step (via an [Hw.Mutation] knob, or by extending the
+   attacker's alphabet), and the checker must kill it — produce a
+   counterexample — or the harness fails.  A surviving mutant means
+   the checker could not see a real weakening of the mechanism it
+   claims to verify, so the checker is itself checked.
+
+   Kill depths are small (1–2 transitions), so mutants run with a
+   shallow, single-vector configuration to keep `make mutants` and the
+   test suite fast; [expect] documents (and the tests assert) which
+   property catches each mutant. *)
+
+type t = {
+  id : string;
+  description : string;
+  expect : Property.id list;  (** properties that legitimately kill this mutant *)
+  install : unit -> unit;  (** flip the Hw.Mutation knob(s) *)
+  tweak : Transition.config -> Transition.config;  (** extend the alphabet if needed *)
+}
+
+let knob (f : Hw.Mutation.knobs -> unit) () = f Hw.Mutation.knobs
+
+let all : t list =
+  [
+    {
+      id = "unblock-mov-to-cr3";
+      description = "Table 3 mutant: 'mov cr3, r64' no longer blocked in guest kernels";
+      expect = [ Property.Destructive_executed ];
+      install = knob (fun k -> k.Hw.Mutation.e2_unblocked <- [ Hw.Priv.mnemonic Hw.Priv.Mov_to_cr3 ]);
+      tweak = Fun.id;
+    };
+    {
+      id = "unblock-sti-cli";
+      description = "Table 3 mutant: sti/cli no longer blocked in guest kernels";
+      expect = [ Property.Destructive_executed ];
+      install = knob (fun k -> k.Hw.Mutation.e2_unblocked <- [ "sti"; "cli" ]);
+      tweak = Fun.id;
+    };
+    {
+      id = "disable-e2";
+      description = "extension E2 off: destructive instructions execute with PKRS != 0";
+      expect = [ Property.Destructive_executed ];
+      install = knob (fun k -> k.Hw.Mutation.e2_enforce <- false);
+      tweak = Fun.id;
+    };
+    {
+      id = "skip-wrpkrs-verify";
+      description = "gates skip the post-wrpkrs tamper check (Figure 8a)";
+      expect = [ Property.Gate_pkrs_leak; Property.Guest_monitor_rights ];
+      install = knob (fun k -> k.Hw.Mutation.gate_verify_wrpkrs <- false);
+      tweak = Fun.id;
+    };
+    {
+      id = "drop-e4-save";
+      description = "hardware delivery zeroes PKRS without saving it (E4 save dropped)";
+      (* the atomic gate edge surfaces it as a PKRS leak (nothing saved,
+         so nothing restored); the raw delivery edge as the missing save *)
+      expect =
+        [ Property.E4_save_missing; Property.Gate_pkrs_leak; Property.Guest_monitor_rights ];
+      install = knob (fun k -> k.Hw.Mutation.e4_save_on_delivery <- false);
+      tweak = Fun.id;
+    };
+    {
+      id = "skip-e4-restore";
+      description = "iret pops the E4 stack without restoring PKRS";
+      expect = [ Property.Gate_pkrs_leak; Property.Guest_monitor_rights ];
+      install = knob (fun k -> k.Hw.Mutation.e4_restore_on_iret <- false);
+      tweak = Fun.id;
+    };
+    {
+      id = "software-pks-switch";
+      description = "software int takes the PKS switch like hardware delivery";
+      expect = [ Property.Software_pks_switch; Property.Forged_entry_ran ];
+      install = knob (fun k -> k.Hw.Mutation.software_pks_switch <- true);
+      tweak = Fun.id;
+    };
+    {
+      id = "skip-forgery-check";
+      description = "interrupt gate skips the per-vCPU accessibility (forgery) check";
+      expect = [ Property.Forged_entry_ran ];
+      install = knob (fun k -> k.Hw.Mutation.gate_forgery_check <- false);
+      tweak = Fun.id;
+    };
+    {
+      id = "skip-e3-pin";
+      description = "sysret no longer pins IF on when PKRS != 0 (E3 off)";
+      expect = [ Property.User_if_cleared ];
+      install = knob (fun k -> k.Hw.Mutation.e3_pin_if <- false);
+      tweak = Fun.id;
+    };
+    {
+      id = "allow-guest-wrpkrs";
+      description = "guest text contains a wrpkrs outside the gates (inspection bypassed)";
+      expect = [ Property.Guest_monitor_rights ];
+      install = (fun () -> ());
+      tweak = (fun cfg -> { cfg with Transition.guest_wrpkrs = [ Hw.Pks.all_access ] });
+    };
+  ]
+
+type verdict = {
+  mutant : t;
+  killed : bool;
+  killed_by : Property.id option;
+  cex : Explore.counterexample option;
+  states : int;
+  transitions : int;
+}
+
+let as_expected v =
+  match v.killed_by with Some p -> List.exists (Property.equal_id p) v.mutant.expect | None -> false
+
+(* Kill depths are <= 2; depth 5 with one vector leaves margin while
+   keeping each mutant's exploration well under a second. *)
+let default_config =
+  {
+    Transition.default_config with
+    Transition.depth = 5;
+    nest_bound = 2;
+    pks_vectors = [ Hw.Idt.vec_timer ];
+  }
+
+let run_one ?(config = default_config) (m : t) : verdict =
+  let config = m.tweak config in
+  Hw.Mutation.with_mutant m.install (fun () ->
+      let r = Explore.run_standalone ~config () in
+      match r.Explore.violations with
+      | [] ->
+          {
+            mutant = m;
+            killed = false;
+            killed_by = None;
+            cex = None;
+            states = r.Explore.stats.Explore.states;
+            transitions = r.Explore.stats.Explore.transitions;
+          }
+      | cex :: _ ->
+          {
+            mutant = m;
+            killed = true;
+            killed_by = Some cex.Explore.violation.Property.property;
+            cex = Some cex;
+            states = r.Explore.stats.Explore.states;
+            transitions = r.Explore.stats.Explore.transitions;
+          })
+
+let run_all ?config () = List.map (fun m -> run_one ?config m) all
+
+let all_killed verdicts = List.for_all (fun v -> v.killed && as_expected v) verdicts
+
+let summary_line v =
+  match v.killed_by with
+  | Some p ->
+      Printf.sprintf "  KILLED   %-22s by %-26s depth %d (%d states)  %s" v.mutant.id
+        (Property.name p)
+        (match v.cex with Some c -> List.length c.Explore.steps | None -> 0)
+        v.states v.mutant.description
+  | None ->
+      Printf.sprintf "  SURVIVED %-22s %d states explored, no counterexample  %s" v.mutant.id
+        v.states v.mutant.description
+
+let summary verdicts =
+  let killed = List.length (List.filter (fun v -> v.killed) verdicts) in
+  String.concat "\n"
+    (Printf.sprintf "mutation harness: %d/%d mutants killed" killed (List.length verdicts)
+    :: List.map summary_line verdicts)

@@ -1,0 +1,58 @@
+(* Table 3 of the paper, pinned as literal data.
+
+   This is a deliberate second spelling of [Hw.Priv.blocked_in_guest]
+   and [Hw.Priv.virtualized_as]: the model checker judges executed
+   transitions against *this* table, so a policy edit (or a seeded
+   mutant) in [Hw.Priv] produces counterexamples instead of silently
+   moving the goalposts.  The golden-table test additionally pins the
+   live policy row-by-row against [rows]. *)
+
+let rows : (Hw.Priv.t * bool * Hw.Priv.virtualization) list =
+  let open Hw.Priv in
+  [
+    (Lidt, true, Ksm_call);
+    (Sidt, true, Ksm_call);
+    (Lgdt, true, Ksm_call);
+    (Ltr, true, Ksm_call);
+    (Rdmsr 0x10, true, Hypercall);
+    (Wrmsr 0x10, true, Hypercall);
+    (Mov_from_cr 0, false, Native);
+    (Mov_from_cr 4, false, Native);
+    (Mov_to_cr0, true, Ksm_call);
+    (Mov_to_cr3, true, Ksm_call);
+    (Mov_to_cr4, true, Ksm_call);
+    (Clac, false, Native);
+    (Stac, false, Native);
+    (Invlpg 0x1000, false, Native);
+    (Invpcid, true, Unused);
+    (Swapgs, false, Native);
+    (Sysret, false, Native);
+    (Iret, true, Ksm_call);
+    (Hlt, false, Hypercall);
+    (Sti, true, In_memory_state);
+    (Cli, true, In_memory_state);
+    (Popf, true, In_memory_state);
+    (In_port 0x60, true, Unused);
+    (Out_port 0x60, true, Unused);
+    (Smsw, true, Unused);
+    (Wrpkrs Hw.Pks.all_access, false, Native);
+    (Rdpkrs, false, Native);
+  ]
+
+(* Golden verdict by constructor (operand-independent), so it applies
+   to any instance the transition relation enumerates. *)
+let blocked (i : Hw.Priv.t) : bool =
+  let open Hw.Priv in
+  match i with
+  | Lidt | Sidt | Lgdt | Ltr | Rdmsr _ | Wrmsr _ | Mov_to_cr0 | Mov_to_cr3 | Mov_to_cr4
+  | Invpcid | Iret | Sti | Cli | Popf | In_port _ | Out_port _ | Smsw ->
+      true
+  | Mov_from_cr _ | Clac | Stac | Invlpg _ | Swapgs | Sysret | Hlt | Wrpkrs _ | Rdpkrs -> false
+
+(* Rows where the live policy disagrees with the golden table. *)
+let drift () : (Hw.Priv.t * bool * Hw.Priv.virtualization) list =
+  List.filter
+    (fun (i, b, v) ->
+      Hw.Priv.blocked_in_guest i <> b
+      || not (Hw.Priv.equal_virtualization (Hw.Priv.virtualized_as i) v))
+    rows

@@ -1,0 +1,15 @@
+(** Table 3 of the paper, pinned as literal data — a deliberate second
+    spelling of the live policy in {!Hw.Priv}, so a policy edit or
+    seeded mutant is judged against the paper rather than itself. *)
+
+val rows : (Hw.Priv.t * bool * Hw.Priv.virtualization) list
+(** One row per {!Hw.Priv.all_examples} entry:
+    (instruction, blocked_in_guest, virtualized_as) per Table 3. *)
+
+val blocked : Hw.Priv.t -> bool
+(** Golden [blocked_in_guest] verdict, by constructor (so it applies
+    to any operand instance). *)
+
+val drift : unit -> (Hw.Priv.t * bool * Hw.Priv.virtualization) list
+(** Rows where the live {!Hw.Priv} policy disagrees with the golden
+    table; empty on an unmodified tree. *)

@@ -1,0 +1,99 @@
+(* The abstract, canonical machine state the model checker explores.
+
+   Only security-relevant per-vCPU facts are kept: privilege mode
+   (CPL), PKRS, IF, the halted bit, the E4 interrupt-saved PKRS stack,
+   and the gate-nesting context (which PKS-switching IDT vectors are
+   in flight, i.e. whose secure stack is live).  Everything else the
+   simulator tracks is deliberately outside the abstraction:
+
+   - gs/kernel_gs_base: attacker-controlled and never trusted by any
+     gate (the per-vCPU area lives at a constant VA — Figure 8), so
+     they cannot influence any checked property;
+   - CR3/PCID: every enumerated action restores them (the hypercall
+     gate switches and switches back atomically), and Mov_to_cr3 is
+     either blocked or — under the policy mutant — a no-op register
+     write in the simulator;
+   - TLB contents, the clock and gate counters: performance state.
+
+   The gate-nesting context is explorer-maintained (the transition
+   relation pushes on a PKS-switching delivery and pops on the gate's
+   iret) because it is not derivable from registers alone under
+   mutants: with the E4 save dropped, gate code runs with an empty
+   saved-PKRS stack, yet "guest holds PKRS=0" must still be judged
+   relative to being inside the gate. *)
+
+type vcpu = {
+  mode : Hw.Cpu.mode;
+  pkrs : Hw.Pks.rights;
+  if_flag : bool;
+  halted : bool;
+  saved_pkrs : Hw.Pks.rights list;  (** E4 stack, innermost first *)
+  gate_ctx : int list;  (** in-flight PKS-switch vectors, innermost first *)
+}
+[@@deriving eq]
+
+type t = { vcpus : vcpu array } [@@deriving eq]
+
+let in_gate v = v.gate_ctx <> []
+
+let capture (cpus : Hw.Cpu.t array) ~(gate_ctx : int list array) : t =
+  {
+    vcpus =
+      Array.mapi
+        (fun i (c : Hw.Cpu.t) ->
+          {
+            mode = c.Hw.Cpu.mode;
+            pkrs = c.Hw.Cpu.pkrs;
+            if_flag = c.Hw.Cpu.if_flag;
+            halted = c.Hw.Cpu.halted;
+            saved_pkrs = c.Hw.Cpu.saved_pkrs;
+            gate_ctx = gate_ctx.(i);
+          })
+        cpus;
+  }
+
+(* Write the abstract state back onto the concrete vCPUs, making the
+   next [Transition.apply] run from exactly this point.  Lists are
+   immutable, so sharing [saved_pkrs] is safe. *)
+let restore (t : t) (cpus : Hw.Cpu.t array) : unit =
+  Array.iteri
+    (fun i (v : vcpu) ->
+      let c = cpus.(i) in
+      c.Hw.Cpu.mode <- v.mode;
+      c.Hw.Cpu.pkrs <- v.pkrs;
+      c.Hw.Cpu.if_flag <- v.if_flag;
+      c.Hw.Cpu.halted <- v.halted;
+      c.Hw.Cpu.saved_pkrs <- v.saved_pkrs)
+    t.vcpus
+
+(* Deeper limits than the stdlib defaults (10/100): abstract states
+   differ only in small leaves, and equality disambiguates within a
+   bucket anyway. *)
+let hash (t : t) = Hashtbl.hash_param 128 256 t
+
+let show_pkrs r =
+  if r = Hw.Pks.all_access then "0"
+  else if r = Hw.Pks.pkrs_guest then "guest"
+  else Printf.sprintf "%#x" r
+
+let show_vcpu v =
+  let saved =
+    match v.saved_pkrs with
+    | [] -> ""
+    | l -> Printf.sprintf " saved=[%s]" (String.concat "," (List.map show_pkrs l))
+  in
+  let gate =
+    match v.gate_ctx with
+    | [] -> ""
+    | l -> Printf.sprintf " gate=[%s]" (String.concat "," (List.map string_of_int l))
+  in
+  Printf.sprintf "%s pkrs=%s if=%d%s%s%s"
+    (match v.mode with Hw.Cpu.User -> "U" | Hw.Cpu.Kernel -> "K")
+    (show_pkrs v.pkrs)
+    (if v.if_flag then 1 else 0)
+    (if v.halted then " hlt" else "")
+    saved gate
+
+let show (t : t) =
+  String.concat "  "
+    (Array.to_list (Array.mapi (fun i v -> Printf.sprintf "cpu%d{%s}" i (show_vcpu v)) t.vcpus))

@@ -399,6 +399,51 @@ let test_lint_wrpkrs_outside_gate () =
   in
   check int "truncation tolerated" 0 (List.length truncated)
 
+let test_lint_trace_truncated () =
+  let guest = Hw.Pks.pkrs_guest in
+  (* Same withdrawn-candidate stream, but with the recorder's drop
+     count passed in: the suppression is surfaced, attributed to
+     truncation, not silently swallowed. *)
+  let events =
+    [
+      Hw.Probe.Wrpkrs { cpu = 0; value = guest };
+      Hw.Probe.Gate_exit
+        { cpu = 0; gate = Hw.Probe.Ksm_call_gate; entry_pkrs = guest; pkrs = guest };
+    ]
+  in
+  (match Analysis.Lint.run ~dropped:37 events with
+  | [ Analysis.Lint.Trace_truncated { dropped; withdrawn } ] ->
+      check int "drop count surfaced" 37 dropped;
+      check int "withdrawn candidate counted" 1 withdrawn
+  | fs -> fail (Printf.sprintf "expected exactly trace-truncated, got %d findings" (List.length fs)));
+  (* dropped = 0 (the default): no finding, exactly as before. *)
+  check int "no finding without drops" 0 (List.length (Analysis.Lint.run events));
+  (* Truncation without withdrawn candidates still reports. *)
+  (match Analysis.Lint.run ~dropped:5 [] with
+  | [ Analysis.Lint.Trace_truncated { dropped = 5; withdrawn = 0 } ] -> ()
+  | _ -> fail "empty truncated trace should yield trace-truncated {5, 0}")
+
+let test_trace_truncated_end_to_end () =
+  (* A real overflowing recorder: capacity 4, more events than fit. *)
+  let t = Analysis.Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Analysis.Trace.record t
+      (Hw.Probe.Tlb_invlpg { cpu = 0; pcid = 1; vpn = 0x400 + i })
+  done;
+  check int "recorder counted the drops" 6 (Analysis.Trace.dropped t);
+  let lints = Analysis.lint_trace t in
+  check_bool "lint_trace surfaces truncation" true (lint_has "trace-truncated" lints);
+  (* Informational, not a violation: the result is still clean and the
+     finding renders at Info severity. *)
+  let r = { Analysis.violations = []; lints } in
+  check_bool "truncation alone keeps the result clean" true (Analysis.is_clean r);
+  check_bool "but the report mentions it" true
+    (List.exists
+       (fun (f : Report.Findings.t) ->
+         f.Report.Findings.rule = "trace-truncated"
+         && f.Report.Findings.severity = Report.Findings.Info)
+       (Analysis.findings r))
+
 let test_lint_missing_shootdown () =
   (* Real machine states + events: map, cache on the vCPU, downgrade
      through the KSM, skip the shootdown. *)
@@ -523,6 +568,8 @@ let suite =
         test_case "E3: sysret with IF down" `Quick test_lint_sysret_if_down;
         test_case "E4: forged PKS switch" `Quick test_lint_forged_pks_switch;
         test_case "E1: wrpkrs outside gate" `Quick test_lint_wrpkrs_outside_gate;
+        test_case "truncation surfaced with withdrawn count" `Quick test_lint_trace_truncated;
+        test_case "overflowing recorder end-to-end" `Quick test_trace_truncated_end_to_end;
         test_case "missing TLB shootdown (real machine)" `Quick test_lint_missing_shootdown;
         test_case "cross-vCPU shootdown race" `Quick test_lint_cross_vcpu_shootdown;
       ] );

@@ -1,0 +1,190 @@
+(* Model-checker tests.
+
+   Anchor: the unmodified machine explores clean (every property holds
+   on every reachable state and edge), deterministically, and the
+   exploration is big enough to mean something (>= 10k distinct states
+   at the default configuration).  Around it: every seeded mutant is
+   killed by a property it documents, with a rendered shortest
+   counterexample; and exploration from restored / warm-cloned
+   containers (the snapshot subsystem's output) reaches the same state
+   space with the same verdict as from a freshly booted one. *)
+
+open Alcotest
+
+let check_bool = check bool
+
+(* A cheap configuration for the tests that only care about the
+   verdict, not the state-space size. *)
+let small_config =
+  {
+    Modelcheck.Transition.default_config with
+    Modelcheck.Transition.depth = 4;
+    nest_bound = 2;
+    pks_vectors = [ Hw.Idt.vec_timer ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Unmodified machine                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let default_run = lazy (Modelcheck.Explore.run_standalone ())
+
+let test_clean () =
+  let r = Lazy.force default_run in
+  check_bool "no property violated on the unmodified machine" true (Modelcheck.Explore.ok r);
+  check int "no counterexamples" 0 (List.length r.Modelcheck.Explore.violations)
+
+let test_state_space_size () =
+  let r = Lazy.force default_run in
+  let s = r.Modelcheck.Explore.stats in
+  check_bool
+    (Printf.sprintf "#states %d >= 10000 at default depth" s.Modelcheck.Explore.states)
+    true
+    (s.Modelcheck.Explore.states >= 10_000);
+  check_bool "transitions outnumber states" true
+    (s.Modelcheck.Explore.transitions > s.Modelcheck.Explore.states);
+  check_bool "exploration went deep" true (s.Modelcheck.Explore.depth_reached >= 5)
+
+let test_deterministic () =
+  let r1 = Lazy.force default_run in
+  let r2 = Modelcheck.Explore.run_standalone () in
+  let s1 = r1.Modelcheck.Explore.stats and s2 = r2.Modelcheck.Explore.stats in
+  check int "same state count" s1.Modelcheck.Explore.states s2.Modelcheck.Explore.states;
+  check int "same transition count" s1.Modelcheck.Explore.transitions
+    s2.Modelcheck.Explore.transitions;
+  check int "same depth reached" s1.Modelcheck.Explore.depth_reached
+    s2.Modelcheck.Explore.depth_reached;
+  check int "same violation count"
+    (List.length r1.Modelcheck.Explore.violations)
+    (List.length r2.Modelcheck.Explore.violations);
+  check_bool "same initial state" true
+    (Modelcheck.State.equal r1.Modelcheck.Explore.initial r2.Modelcheck.Explore.initial)
+
+let test_exploration_side_effect_free () =
+  (* run restores the vCPUs: two runs on the SAME container agree. *)
+  let c = Modelcheck.Explore.explore_container () in
+  let r1 = Modelcheck.Explore.run ~config:small_config c in
+  let r2 = Modelcheck.Explore.run ~config:small_config c in
+  check int "same container, same states"
+    r1.Modelcheck.Explore.stats.Modelcheck.Explore.states
+    r2.Modelcheck.Explore.stats.Modelcheck.Explore.states;
+  check_bool "same initial abstract state" true
+    (Modelcheck.State.equal r1.Modelcheck.Explore.initial r2.Modelcheck.Explore.initial)
+
+let test_golden_policy_no_drift () =
+  check int "pinned Table 3 matches the live policy" 0
+    (List.length (Modelcheck.Policy.drift ()))
+
+(* ------------------------------------------------------------------ *)
+(* Mutation harness                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_mutants_all_killed () =
+  let verdicts = Modelcheck.Mutants.run_all () in
+  check int "ten seeded mutants" 10 (List.length verdicts);
+  List.iter
+    (fun (v : Modelcheck.Mutants.verdict) ->
+      check_bool
+        (Printf.sprintf "mutant %s killed" v.Modelcheck.Mutants.mutant.Modelcheck.Mutants.id)
+        true v.Modelcheck.Mutants.killed;
+      check_bool
+        (Printf.sprintf "mutant %s killed by a documented property (%s)"
+           v.Modelcheck.Mutants.mutant.Modelcheck.Mutants.id
+           (match v.Modelcheck.Mutants.killed_by with
+           | Some p -> Modelcheck.Property.name p
+           | None -> "none"))
+        true
+        (Modelcheck.Mutants.as_expected v);
+      match v.Modelcheck.Mutants.cex with
+      | None -> fail "killed mutant must carry a counterexample"
+      | Some cex ->
+          check_bool "shortest counterexample is non-empty" true
+            (List.length cex.Modelcheck.Explore.steps >= 1);
+          check_bool "counterexample renders" true
+            (String.length (Modelcheck.Cex.render cex) > 0))
+    verdicts;
+  check_bool "all_killed verdict" true (Modelcheck.Mutants.all_killed verdicts)
+
+let test_mutant_scoping () =
+  (* with_mutant restores enforcement even though run_one explores with
+     knobs flipped: a default run right after the harness is clean. *)
+  ignore (Modelcheck.Mutants.run_one (List.hd Modelcheck.Mutants.all));
+  check_bool "knobs restored after a mutant run" true
+    (Hw.Mutation.pristine ());
+  let r = Modelcheck.Explore.run_standalone ~config:small_config () in
+  check_bool "post-mutant exploration is clean" true (Modelcheck.Explore.ok r)
+
+(* ------------------------------------------------------------------ *)
+(* Exploration from snapshot-subsystem outputs (ISSUE satellite)       *)
+(* ------------------------------------------------------------------ *)
+
+let snap_cfg = { Cki.Config.default with Cki.Config.segment_frames = 4096 }
+
+let template_exn c =
+  match Snapshot.Template.create c with
+  | Ok t -> t
+  | Error e -> fail ("template: " ^ Snapshot.Template.show_error e)
+
+let test_explore_after_restore () =
+  let host = Cki.Host.create (Hw.Machine.create ~mem_mib:192 ()) in
+  let c0 = Cki.Container.create ~cfg:snap_cfg host in
+  let fresh = Modelcheck.Explore.run ~config:small_config c0 in
+  let image =
+    match Snapshot.Capture.capture c0 with
+    | Ok img -> img
+    | Error e -> fail ("capture: " ^ Snapshot.Capture.show_error e)
+  in
+  let c1 =
+    match Snapshot.Restore.restore host image with
+    | Ok c -> c
+    | Error e -> fail ("restore: " ^ Snapshot.Restore.show_error e)
+  in
+  let r = Modelcheck.Explore.run ~config:small_config c1 in
+  check_bool "restored container explores clean" true (Modelcheck.Explore.ok r);
+  check int "restored container reaches the same state space"
+    fresh.Modelcheck.Explore.stats.Modelcheck.Explore.states
+    r.Modelcheck.Explore.stats.Modelcheck.Explore.states;
+  check int "and the same transitions"
+    fresh.Modelcheck.Explore.stats.Modelcheck.Explore.transitions
+    r.Modelcheck.Explore.stats.Modelcheck.Explore.transitions
+
+let test_explore_after_warm_clone () =
+  let host = Cki.Host.create (Hw.Machine.create ~mem_mib:256 ()) in
+  let c0 = Cki.Container.create ~cfg:snap_cfg host in
+  let fresh = Modelcheck.Explore.run ~config:small_config c0 in
+  let pool =
+    Snapshot.Pool.create ~target:1 ~make:(fun () ->
+        template_exn (Cki.Container.create ~cfg:snap_cfg host))
+  in
+  let clone =
+    match Snapshot.Pool.spawn_fast pool with
+    | Ok c -> c
+    | Error e -> fail ("spawn_fast: " ^ Snapshot.Template.show_error e)
+  in
+  let r = Modelcheck.Explore.run ~config:small_config clone in
+  check_bool "warm clone explores clean" true (Modelcheck.Explore.ok r);
+  check int "warm clone reaches the same state space"
+    fresh.Modelcheck.Explore.stats.Modelcheck.Explore.states
+    r.Modelcheck.Explore.stats.Modelcheck.Explore.states
+
+let suite =
+  [
+    ( "modelcheck-explore",
+      [
+        test_case "unmodified machine is clean" `Quick test_clean;
+        test_case ">= 10k states at default depth" `Quick test_state_space_size;
+        test_case "deterministic across runs" `Quick test_deterministic;
+        test_case "exploration is side-effect-free" `Quick test_exploration_side_effect_free;
+        test_case "golden Table 3 has no drift" `Quick test_golden_policy_no_drift;
+      ] );
+    ( "modelcheck-mutants",
+      [
+        test_case "all ten mutants killed, as documented" `Quick test_mutants_all_killed;
+        test_case "mutant knobs are scoped" `Quick test_mutant_scoping;
+      ] );
+    ( "modelcheck-snapshot",
+      [
+        test_case "explore from a restored container" `Quick test_explore_after_restore;
+        test_case "explore from a warm clone" `Quick test_explore_after_warm_clone;
+      ] );
+  ]
