@@ -16,6 +16,7 @@ check: test examples
 	dune exec bin/cki_demo.exe -- micro --check
 	dune exec bin/cki_demo.exe -- attack --check
 	dune exec bin/cki_demo.exe -- kv --check --clients 8
+	dune exec bin/cki_demo.exe -- serve --check --containers 2 --requests 50
 	dune exec bin/cki_demo.exe -- clone --check
 	dune exec bin/cki_demo.exe -- model-check --depth 8
 
@@ -45,6 +46,7 @@ examples: build
 	dune exec examples/nested_cloud.exe
 	dune exec examples/sqlite_tmpfs.exe
 	dune exec examples/kv_serving.exe
+	dune exec examples/traffic_serving.exe
 
 clean:
 	dune clean

@@ -1,0 +1,130 @@
+(* Host I/O plane benchmark (Figure 16 shape).
+
+   Three experiments over the traffic-serving harness:
+
+   - backend sweep: the same open-loop kv load against runc / HVM /
+     PVM / CKI fleets with naive notification (window 0), reporting
+     per-request doorbell / interrupt / exit counts — the Figure 16
+     exit-count ordering with CKI below HVM;
+   - coalescing sweep: CKI at EVENT_IDX windows 0/1/4/8 — coalescing
+     strictly reduces doorbells and interrupts, bounded by the batch
+     window;
+   - fleet latency: an 8-container CKI run reporting throughput and
+     p50/p95/p99 under open-loop arrivals.
+
+   Every scenario runs under Analysis.checked — the counts only count
+   if the whole-machine sanitizer and the trace lint come back clean.
+
+   --json writes BENCH_ioplane.json. *)
+
+let section title = Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let serve_checked cfg =
+  Analysis.checked
+    ~label:(Printf.sprintf "ioplane/%s-w%d" cfg.Ioplane.Serve.backend cfg.Ioplane.Serve.window)
+    (fun () -> Ioplane.Serve.run cfg)
+
+let row_json (r : Ioplane.Serve.result) =
+  Report.Json.Obj
+    [
+      ("backend", Report.Json.String r.r_backend);
+      ("label", Report.Json.String r.r_label);
+      ("workload", Report.Json.String r.r_workload);
+      ("containers", Report.Json.Int r.r_containers);
+      ("requests", Report.Json.Int r.r_requests);
+      ("window", Report.Json.Int r.r_window);
+      ("throughput_rps", Report.Json.Float r.r_throughput_rps);
+      ("mean_us", Report.Json.Float r.r_mean_us);
+      ("p50_us", Report.Json.Float r.r_p50_us);
+      ("p95_us", Report.Json.Float r.r_p95_us);
+      ("p99_us", Report.Json.Float r.r_p99_us);
+      ("doorbells", Report.Json.Int r.r_doorbells);
+      ("suppressed_kicks", Report.Json.Int r.r_suppressed_kicks);
+      ("interrupts", Report.Json.Int r.r_interrupts);
+      ("suppressed_interrupts", Report.Json.Int r.r_suppressed_interrupts);
+      ("exits", Report.Json.Int r.r_exits);
+      ("doorbells_per_req", Report.Json.Float r.r_doorbells_per_req);
+      ("interrupts_per_req", Report.Json.Float r.r_interrupts_per_req);
+      ("exits_per_req", Report.Json.Float r.r_exits_per_req);
+      ("tx_stalls", Report.Json.Int r.r_tx_stalls);
+      ("blk_writes", Report.Json.Int r.r_blk_writes);
+      ("service_passes", Report.Json.Int r.r_service_passes);
+    ]
+
+let print_row (r : Ioplane.Serve.result) = Format.printf "%a@." Ioplane.Serve.pp_result r
+
+let run ?(json = false) () =
+  section "I/O plane: per-request notification cost by backend (naive, window 0)";
+  let base =
+    {
+      Ioplane.Serve.default_config with
+      Ioplane.Serve.containers = 4;
+      requests_per_container = 100;
+      window = 0;
+      workload = Ioplane.Serve.Kv_memcached;
+    }
+  in
+  let sweep =
+    List.map
+      (fun backend -> serve_checked { base with Ioplane.Serve.backend })
+      [ "runc"; "hvm"; "pvm"; "cki" ]
+  in
+  List.iter print_row sweep;
+  let exits_of name =
+    match List.find_opt (fun (r : Ioplane.Serve.result) -> r.r_backend = name) sweep with
+    | Some r -> r.r_exits_per_req
+    | None -> nan
+  in
+  section "I/O plane: CKI EVENT_IDX coalescing sweep";
+  let coalesce =
+    List.map
+      (fun window -> serve_checked { base with Ioplane.Serve.backend = "cki"; window })
+      [ 0; 1; 4; 8 ]
+  in
+  List.iter print_row coalesce;
+  let cki_naive = List.hd coalesce in
+  let cki_coalesced = List.nth coalesce 2 in
+  Printf.printf "\nexit ordering: cki(w4) %.2f < cki(w0) %.2f < hvm %.2f  %s\n"
+    cki_coalesced.Ioplane.Serve.r_exits_per_req cki_naive.Ioplane.Serve.r_exits_per_req
+    (exits_of "hvm")
+    (if
+       cki_coalesced.Ioplane.Serve.r_exits_per_req < cki_naive.Ioplane.Serve.r_exits_per_req
+       && cki_naive.Ioplane.Serve.r_exits_per_req < exits_of "hvm"
+     then "OK"
+     else "VIOLATED");
+  section "I/O plane: 8-container CKI fleet, open-loop latency";
+  let fleet =
+    serve_checked
+      {
+        base with
+        Ioplane.Serve.backend = "cki";
+        containers = 8;
+        requests_per_container = 100;
+        window = 4;
+        fsync_every = 8;
+      }
+  in
+  print_row fleet;
+  let web =
+    serve_checked
+      {
+        base with
+        Ioplane.Serve.backend = "cki";
+        containers = 8;
+        requests_per_container = 50;
+        window = 4;
+        workload = Ioplane.Serve.Web_static;
+      }
+  in
+  print_row web;
+  if json then begin
+    Report.Json.write_file "BENCH_ioplane.json"
+      (Report.Json.Obj
+         [
+           ("bench", Report.Json.String "ioplane");
+           ("backend_sweep", Report.Json.List (List.map row_json sweep));
+           ("coalescing_sweep", Report.Json.List (List.map row_json coalesce));
+           ("fleet", Report.Json.List (List.map row_json [ fleet; web ]));
+         ]);
+    Printf.printf "wrote BENCH_ioplane.json\n"
+  end

@@ -53,6 +53,9 @@ let () =
     | "modelcheck" ->
         Mc_bench.run ~json ();
         true
+    | "ioplane" ->
+        Ioplane_bench.run ~json ();
+        true
     | "micro" ->
         if json then micro_json ()
         else Printf.printf "micro: use --json to write BENCH_micro.json (table form is table2)\n";
@@ -62,7 +65,7 @@ let () =
   match args with
   | [ "list" ] ->
       List.iter (fun (name, _) -> print_endline name) Experiments.all;
-      List.iter print_endline [ "snapshot"; "modelcheck"; "micro"; "simbench" ]
+      List.iter print_endline [ "snapshot"; "modelcheck"; "ioplane"; "micro"; "simbench" ]
   | [] ->
       Printf.printf "CKI (EuroSys'25) reproduction — full benchmark run\n";
       Printf.printf "===================================================\n";
@@ -73,6 +76,7 @@ let () =
         Experiments.all;
       Snap_bench.run ~json ();
       Mc_bench.run ~json ();
+      Ioplane_bench.run ~json ();
       if json then micro_json ();
       Simbench.run ()
   | names ->

@@ -4,6 +4,7 @@
      cki_demo attack
      cki_demo policy
      cki_demo kv       [--clients N] [--redis] [--backend ...] [--nested]
+     cki_demo serve    [--containers N] [--requests M] [--window W] [--backend ...]
      cki_demo snapshot [--out FILE]
      cki_demo restore  [--in FILE]
      cki_demo clone    [--clones N] [--warm K]
@@ -118,6 +119,31 @@ let kv backend nested clients redis check =
   let thr = Workloads.Kv.run_memtier b ~flavor ~clients ~requests:2000 in
   Printf.printf "%s %s with %d clients: %.1f k ops/s\n" b.Virt.Backend.label
     (Workloads.Kv.show_flavor flavor) clients (thr /. 1e3)
+
+let serve backend nested containers requests window workload rate sched fsync check =
+  let workload =
+    match Ioplane.Serve.workload_of_string workload with
+    | Some w -> w
+    | None -> failwith ("unknown workload: " ^ workload ^ " (memcached|redis|nginx|httpd)")
+  in
+  with_check check @@ fun () ->
+  let cfg =
+    {
+      Ioplane.Serve.default_config with
+      Ioplane.Serve.backend;
+      nested;
+      containers;
+      requests_per_container = requests;
+      window;
+      workload;
+      rate_rps = rate;
+      use_sched = sched;
+      fsync_every = fsync;
+    }
+  in
+  let r, booted = Ioplane.Serve.run cfg in
+  cki_containers := booted @ !cki_containers;
+  Format.printf "%a@." Ioplane.Serve.pp_result r
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot / restore / clone                                          *)
@@ -274,6 +300,51 @@ let kv_cmd =
   Cmd.v (Cmd.info "kv" ~exits ~doc:"Run the key-value serving workload.")
     Term.(const kv $ backend_arg $ nested_arg $ clients $ redis $ check_arg)
 
+let serve_cmd =
+  let containers =
+    Arg.(value & opt int 4 & info [ "n"; "containers" ] ~doc:"Containers in the fleet.")
+  in
+  let requests =
+    Arg.(value & opt int 100 & info [ "r"; "requests" ] ~doc:"Requests per container.")
+  in
+  let window =
+    Arg.(
+      value
+      & opt int Ioplane.Serve.default_config.Ioplane.Serve.window
+      & info [ "w"; "window" ] ~doc:"EVENT_IDX coalescing window (0 = naive notification).")
+  in
+  let workload =
+    Arg.(
+      value & opt string "memcached"
+      & info [ "workload" ] ~doc:"Workload: memcached, redis, nginx, httpd.")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt float Ioplane.Serve.default_config.Ioplane.Serve.rate_rps
+      & info [ "rate" ] ~doc:"Open-loop arrival rate per container (req/s).")
+  in
+  let sched =
+    Arg.(
+      value & flag
+      & info [ "sched" ]
+          ~doc:"Multiplex guest work over preempted vCPU timeslices (cki backend only).")
+  in
+  let fsync =
+    Arg.(
+      value & opt int 0
+      & info [ "fsync-every" ] ~doc:"kv: append + fsync the log every Nth SET (0 = off).")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:
+         "Drive a multi-container fleet through the host I/O plane with an open-loop load \
+          generator; reports throughput, p50/p95/p99 latency, and per-request doorbell / \
+          interrupt / exit counts.")
+    Term.(
+      const serve $ backend_arg $ nested_arg $ containers $ requests $ window $ workload $ rate
+      $ sched $ fsync $ check_arg)
+
 let snapshot_cmd =
   let out =
     Arg.(value & opt string "container.ckisnap" & info [ "o"; "out" ] ~doc:"Output image file.")
@@ -341,6 +412,7 @@ let () =
             attack_cmd;
             policy_cmd;
             kv_cmd;
+            serve_cmd;
             snapshot_cmd;
             restore_cmd;
             clone_cmd;

@@ -7,6 +7,8 @@ type finding =
   | Missing_shootdown of { container : int; cpu : int; pcid : int; vpn : int }
   | Forged_pks_switch of { cpu : int; vector : int; pkrs_before : int; pkrs_after : int }
   | Wrpkrs_outside_gate of { cpu : int; value : int }
+  | Forged_completion of { queue : string; used_idx : int }
+  | Empty_doorbell of { queue : string; avail_idx : int }
   | Trace_truncated of { dropped : int; withdrawn : int }
 [@@deriving show { with_path = false }, eq]
 
@@ -17,6 +19,8 @@ let rule_name = function
   | Missing_shootdown _ -> "missing-shootdown"
   | Forged_pks_switch _ -> "E4-forged-pks-switch"
   | Wrpkrs_outside_gate _ -> "E1-wrpkrs-outside-gate"
+  | Forged_completion _ -> "io-forged-completion"
+  | Empty_doorbell _ -> "io-empty-doorbell"
   | Trace_truncated _ -> "trace-truncated"
 
 let subject = function
@@ -27,6 +31,8 @@ let subject = function
   | Wrpkrs_outside_gate { cpu; _ } ->
       Printf.sprintf "cpu %d" cpu
   | Missing_shootdown { container; cpu; _ } -> Printf.sprintf "container %d cpu %d" container cpu
+  | Forged_completion { queue; _ } | Empty_doorbell { queue; _ } ->
+      Printf.sprintf "queue %s" queue
   | Trace_truncated _ -> "recorder"
 
 (* The shootdown rule needs the fill/invalidate history per (cpu, pcid)
@@ -59,6 +65,10 @@ let run ?(dropped = 0) (events : Hw.Probe.event list) : finding list =
   (* wrpkrs seen at depth 0: candidates, withdrawn if a later unmatched
      Gate_exit shows the trace started mid-gate (ring-buffer drop). *)
   let wrpkrs_cands : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  (* Per-queue used idx at the last completion interrupt, for the
+     forged-completion rule (an interrupt must cover freshly published
+     used entries). *)
+  let last_used : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let resolve_vpn ~cpu ~pcid vpn =
     Hashtbl.remove st.pending (cpu, pcid, vpn);
     (match Hashtbl.find_opt st.fills (cpu, pcid) with
@@ -128,6 +138,20 @@ let run ?(dropped = 0) (events : Hw.Probe.event list) : finding list =
                       Hashtbl.replace st.pending (cpu, pcid, huge_vpn) container
                   end)
                 st.fills)
+      | Hw.Probe.Io_doorbell { queue; avail_idx; in_flight } ->
+          (* A doorbell with no new avail entries: phantom kick — either
+             a wasted exit or a probe of the host's service path. *)
+          if in_flight <= 0 then add (Empty_doorbell { queue; avail_idx })
+      | Hw.Probe.Io_completion { queue; used_idx; serviced } ->
+          (* A completion interrupt must cover used entries published
+             since the last one; anything else is forged (interrupt
+             injection with no serviced work behind it). *)
+          let prev = Hashtbl.find_opt last_used queue in
+          let forged =
+            serviced <= 0 || match prev with Some u -> used_idx <= u | None -> used_idx <= 0
+          in
+          if forged then add (Forged_completion { queue; used_idx });
+          Hashtbl.replace last_used queue (max used_idx (Option.value prev ~default:0))
       | Hw.Probe.Iret _ | Hw.Probe.Cr3_load _ | Hw.Probe.Pks_denied _ | Hw.Probe.Ksm_op _
       | Hw.Probe.Mm_op _ ->
           ())

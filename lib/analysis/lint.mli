@@ -24,6 +24,14 @@ type finding =
   | Wrpkrs_outside_gate of { cpu : int; value : int }
       (** a PKRS write executed outside any switch gate — only gate
           text may contain wrpkrs (no-new-kernel-exec invariant) *)
+  | Forged_completion of { queue : string; used_idx : int }
+      (** a VirtIO completion interrupt was injected with no freshly
+          published used-ring entries behind it — interrupt forgery
+          through the I/O plane *)
+  | Empty_doorbell of { queue : string; avail_idx : int }
+      (** a doorbell rang with no new avail-ring entries posted — a
+          phantom kick (wasted exit, or probing the host service
+          path) *)
   | Trace_truncated of { dropped : int; withdrawn : int }
       (** the recorder's ring buffer overflowed: [dropped] events were
           lost, and [withdrawn] wrpkrs-outside-gate candidates were

@@ -156,6 +156,13 @@ let assemble ?(env = Virt.Env.Bare_metal) ~cfg (host : Host.t) ~container_id ~pc
                 Hw.Clock.charge clock "nested_irq_extra" Hw.Cost.nested_irq_extra
           | Error e -> failwith ("CKI interrupt gate error: " ^ Gates.show_error e));
       virtualized_io = true;
+      (* Single-stage: the buddy hands out real hPA frames inside the
+         delegated segment, so ring bytes are directly addressable (and
+         the Analysis sanitizer audits them like any guest page). *)
+      guest_read_word =
+        (fun pfn index -> Hw.Phys_mem.read_entry (Hw.Machine.mem machine) ~pfn ~index);
+      guest_write_word =
+        (fun pfn index v -> Hw.Phys_mem.write_entry (Hw.Machine.mem machine) ~pfn ~index v);
     }
   in
   let kernel = Kernel_model.Kernel.create platform in

@@ -18,6 +18,7 @@ type t = {
   mutable hypercalls : int;
   mutable injected_virqs : int;
   mutable hw_interrupts : int;
+  mutable doorbells : int;  (** device-doorbell hypercalls (Net/Blk) *)
 }
 
 let create (machine : Hw.Machine.t) =
@@ -33,6 +34,7 @@ let create (machine : Hw.Machine.t) =
     hypercalls = 0;
     injected_virqs = 0;
     hw_interrupts = 0;
+    doorbells = 0;
   }
 
 let machine t = t.machine
@@ -76,9 +78,11 @@ let handle_hypercall t (kind : Kernel_model.Platform.io_kind) =
   match kind with
   | Kernel_model.Platform.Net_tx | Kernel_model.Platform.Net_rx_ack
   | Kernel_model.Platform.Blk_read | Kernel_model.Platform.Blk_write ->
-      (* The VirtIO backend service cost is charged by the queue owner
-         (Kernel_model.Virtio.service); nothing extra here. *)
-      ()
+      (* A device doorbell: the MMIO write lands in the host backend.
+         The VirtIO service cost is charged by the queue owner
+         (Kernel_model.Virtio.service); here only the write itself. *)
+      t.doorbells <- t.doorbells + 1;
+      Hw.Clock.charge t.clock "doorbell_write" Hw.Cost.doorbell_write
   | Kernel_model.Platform.Timer -> Hw.Clock.charge t.clock "host_timer_setup" 120.0
   | Kernel_model.Platform.Ipi -> Hw.Clock.charge t.clock "host_ipi" 200.0
   | Kernel_model.Platform.Console -> ()
@@ -98,6 +102,7 @@ let inject_virq t =
 let hypercall_count t = t.hypercalls
 let injected_virqs t = t.injected_virqs
 let hw_interrupt_count t = t.hw_interrupts
+let doorbell_count t = t.doorbells
 
 (* ------------------------------------------------------------------ *)
 (* Warm pool: pre-booted clone templates for instant scale-out         *)

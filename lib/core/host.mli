@@ -33,6 +33,9 @@ val hypercall_count : t -> int
 val injected_virqs : t -> int
 val hw_interrupt_count : t -> int
 
+val doorbell_count : t -> int
+(** Device-doorbell hypercalls (Net/Blk kinds) handled. *)
+
 (** Warm pool of pre-booted clone templates. Polymorphic in the
     template type so lib/core does not depend on lib/snapshot; the
     snapshot layer instantiates it with frozen templates and serves

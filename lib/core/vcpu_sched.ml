@@ -73,14 +73,18 @@ let run_slice t e =
   | Ok () -> t.preemptions <- t.preemptions + 1
   | Error e -> failwith ("Vcpu_sched: timer gate failed: " ^ Gates.show_error e)
 
-(* Round-robin for [slices] total timeslices. *)
-let run t ~slices =
+(* Round-robin for [slices] total timeslices.  [after_slice] runs in
+   host context between slices — the I/O plane's device-service window
+   (flush coalesced queues, pump the switch) multiplexed with guest
+   execution. *)
+let run ?(after_slice = fun () -> ()) t ~slices =
   let rec go remaining entries =
     if remaining > 0 then
       match entries with
       | [] -> go remaining t.entries
       | e :: rest ->
           run_slice t e;
+          after_slice ();
           go (remaining - 1) rest
   in
   if t.entries <> [] then go slices t.entries

@@ -30,8 +30,10 @@ val run_slice : t -> vcpu_entry -> unit
 (** One timeslice: virtual-interrupt injection, guest work (or spin),
     timer preemption through the interrupt gate. *)
 
-val run : t -> slices:int -> unit
-(** Round-robin for a total number of timeslices. *)
+val run : ?after_slice:(unit -> unit) -> t -> slices:int -> unit
+(** Round-robin for a total number of timeslices. [after_slice] runs in
+    host context between slices — the I/O plane's device-service window
+    (flush coalesced queues, pump the switch). *)
 
 val preemptions : t -> int
 val entries : t -> vcpu_entry list

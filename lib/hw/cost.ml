@@ -150,6 +150,21 @@ let virtio_frontend_work = 200.0
    side / latency accounting only — overlapped for throughput). *)
 let net_packet = 1500.0
 
+(* Writing the doorbell register itself (the uncached MMIO/MSR store
+   the guest performs before the exit it may or may not take). *)
+let doorbell_write = 50.0
+
+(* Reading the EVENT_IDX suppression field on the notify-or-not check
+   (one cache-coherent load of the peer-written event index). *)
+let event_idx_check = 5.0
+
+(* Host block store: media + request overhead per 512-byte sector. *)
+let blk_sector = 600.0
+
+(* Inter-container software switch: per-packet lookup + enqueue on the
+   destination port (the host-side vswitch fast path). *)
+let switch_forward = 250.0
+
 (* PVM's virtio frontend kicks through emulated MMIO: the exit plus
    instruction decoding/emulation work in the host. *)
 let pvm_mmio_emulation = 1800.0

@@ -37,6 +37,8 @@ type event =
   | Pte_downgrade of { container : int; root : int; vpn : int; unmapped : bool }
   | Container_boot of { container : int; pcid : int }
   | Mm_op of { op : string; vpn : int; pages : int }
+  | Io_doorbell of { queue : string; avail_idx : int; in_flight : int }
+  | Io_completion of { queue : string; used_idx : int; serviced : int }
 
 let pp_event fmt = function
   | Priv_exec { cpu; mnemonic; destructive; pkrs; blocked } ->
@@ -75,6 +77,10 @@ let pp_event fmt = function
   | Container_boot { container; pcid } ->
       Format.fprintf fmt "container %d boots with pcid=%d" container pcid
   | Mm_op { op; vpn; pages } -> Format.fprintf fmt "mm %s vpn=%#x pages=%d" op vpn pages
+  | Io_doorbell { queue; avail_idx; in_flight } ->
+      Format.fprintf fmt "io %s doorbell avail=%d in_flight=%d" queue avail_idx in_flight
+  | Io_completion { queue; used_idx; serviced } ->
+      Format.fprintf fmt "io %s completion used=%d serviced=%d" queue used_idx serviced
 
 let show_event e = Format.asprintf "%a" pp_event e
 

@@ -50,6 +50,12 @@ type event =
     }
   | Container_boot of { container : int; pcid : int }
   | Mm_op of { op : string; vpn : int; pages : int }
+  | Io_doorbell of { queue : string; avail_idx : int; in_flight : int }
+      (** a VirtIO doorbell actually rang (suppressed kicks don't emit);
+          [in_flight] = avail entries the host has not yet serviced *)
+  | Io_completion of { queue : string; used_idx : int; serviced : int }
+      (** a VirtIO completion interrupt was injected; [serviced] = used
+          entries this injection signals *)
 
 val pp_event : Format.formatter -> event -> unit
 val show_event : event -> string

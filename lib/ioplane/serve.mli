@@ -1,0 +1,67 @@
+(** Multi-container traffic-serving harness (Figure 16 shape).
+
+    An open-loop memtier-style load generator drives N containers of
+    one backend through the software switch. Requests arrive on a fixed
+    schedule regardless of fleet progress, so latency percentiles
+    include queueing delay. Each run reports throughput, p50/p95/p99
+    latency, and per-request doorbell / interrupt / exit counts. *)
+
+type workload = Kv_memcached | Kv_redis | Web_static | Web_httpd
+
+val pp_workload : Format.formatter -> workload -> unit
+val show_workload : workload -> string
+val equal_workload : workload -> workload -> bool
+val workload_name : workload -> string
+val workload_of_string : string -> workload option
+
+type config = {
+  backend : string;  (** runc | hvm | pvm | cki *)
+  nested : bool;
+  containers : int;
+  requests_per_container : int;
+  window : int;  (** EVENT_IDX batch window; 0 = naive *)
+  queue_size : int;
+  rate_rps : float;  (** open-loop arrival rate per container *)
+  workload : workload;
+  use_sched : bool;  (** multiplex guest work over Vcpu_sched slices (cki only) *)
+  fsync_every : int;  (** kv: log-append + fsync every Nth SET; 0 = off *)
+}
+
+val default_config : config
+
+type result = {
+  r_backend : string;
+  r_label : string;
+  r_workload : string;
+  r_containers : int;
+  r_requests : int;
+  r_window : int;
+  r_throughput_rps : float;
+  r_mean_us : float;
+  r_p50_us : float;
+  r_p95_us : float;
+  r_p99_us : float;
+  r_doorbells : int;
+  r_suppressed_kicks : int;
+  r_interrupts : int;
+  r_suppressed_interrupts : int;
+  r_exits : int;
+  r_doorbells_per_req : float;
+  r_interrupts_per_req : float;
+  r_exits_per_req : float;
+  r_tx_stalls : int;
+  r_switch_forwarded : int;
+  r_blk_writes : int;
+  r_service_passes : int;
+}
+
+val exit_events : string -> string list
+(** Clock event names that count as privilege-boundary exits for a
+    backend (empty for runc). *)
+
+val run : config -> result * Cki.Container.t list
+(** Build the fleet, serve every request, and collect counters. The
+    returned containers (cki backend only) let callers run the
+    whole-machine invariant checker over the final state. *)
+
+val pp_result : Format.formatter -> result -> unit

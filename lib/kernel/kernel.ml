@@ -6,44 +6,190 @@
    native for RunC/HVM/CKI, redirected for PVM — then performs real
    work against the in-memory structures. *)
 
+(* The VirtIO queue triple, created lazily on first virtualized I/O so
+   freshly assembled (or snapshot-restored) containers that never did
+   I/O own no ring frames — which keeps snapshot re-capture
+   byte-identical. *)
+type io = { tx : Virtio.t; rx : Virtio.t; blk : Virtio.t }
+
+type kick_target = [ `Net_tx | `Net_rx | `Blk ]
+
+(* Host-side I/O plane hooks (installed by Ioplane.Loop).  When absent
+   the kernel self-services its queues synchronously, preserving the
+   standalone workload semantics. *)
+type io_backend = {
+  kicked : kick_target -> unit;  (** a doorbell of this kernel rang *)
+  service_now : unit -> unit;
+      (** synchronous host service pass — the backpressure path and
+          [flush_net] delegate here so a full ring drains through the
+          plane (switch routing, block store) rather than a stub *)
+  blk_sink : (Bytes.t -> unit) option;
+      (** host block store; when present, fsync flushes ride the
+          virtio-blk queue into it *)
+}
+
 type t = {
+  id : int;  (** per-process unique, for queue naming *)
   platform : Platform.t;
   fs : Tmpfs.t;
   sched : Sched.t;
   tasks : (int, Task.t) Hashtbl.t;
   sockets : (int, Net.endpoint) Hashtbl.t;
   wire : Net.t;
-  net_dev : Virtio.t;
-  blk_dev : Virtio.t;
+  mutable io : io option;
+  mutable io_queue_size : int;
+  mutable io_window : int;
+  mutable io_backend : io_backend option;
   mutable next_pid : int;
   mutable syscall_count : int;
   mutable irq_count : int;
-  mutable net_kick_pending : bool;
-      (** virtio event suppression: sends posted since the last kick
-          ride the already-rung doorbell (pipelining batches kicks) *)
+  mutable tx_stalls : int;
+      (** times the guest blocked on a full ring until a host service
+          pass made room (graceful backpressure, not an error) *)
 }
+
+let next_kernel_id = ref 0
 
 let create platform =
   let clock = platform.Platform.clock in
+  incr next_kernel_id;
   {
+    id = !next_kernel_id;
     platform;
     fs = Tmpfs.create clock;
     sched = Sched.create platform;
     tasks = Hashtbl.create 16;
     sockets = Hashtbl.create 16;
     wire = Net.create clock;
-    net_dev = Virtio.create ~name:"virtio-net" clock;
-    blk_dev = Virtio.create ~name:"virtio-blk" clock;
+    io = None;
+    io_queue_size = 64;
+    io_window = 1;
+    io_backend = None;
     next_pid = 1;
     syscall_count = 0;
     irq_count = 0;
-    net_kick_pending = false;
+    tx_stalls = 0;
   }
 
 let platform t = t.platform
 let clock t = t.platform.Platform.clock
 let fs t = t.fs
 let syscall_count t = t.syscall_count
+
+(* ------------------------------------------------------------------ *)
+(* VirtIO data path                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let ensure_io t =
+  match t.io with
+  | Some io -> io
+  | None ->
+      let access =
+        {
+          Virtio.read_word = t.platform.Platform.guest_read_word;
+          write_word = t.platform.Platform.guest_write_word;
+          alloc_frame = t.platform.Platform.alloc_frame;
+        }
+      in
+      let q suffix =
+        Virtio.create ~size:t.io_queue_size ~window:t.io_window
+          ~name:(Printf.sprintf "%s%d-%s" t.platform.Platform.name t.id suffix)
+          access (clock t)
+      in
+      let io = { tx = q "net-tx"; rx = q "net-rx"; blk = q "blk" } in
+      t.io <- Some io;
+      io
+
+let configure_io ?queue_size ?window t =
+  (match queue_size with
+  | None -> ()
+  | Some s ->
+      if t.io <> None then invalid_arg "Kernel.configure_io: queues already created";
+      t.io_queue_size <- s);
+  match window with
+  | None -> ()
+  | Some w ->
+      t.io_window <- w;
+      Option.iter
+        (fun io ->
+          Virtio.set_window io.tx w;
+          Virtio.set_window io.rx w;
+          Virtio.set_window io.blk w)
+        t.io
+
+let set_io_backend t backend = t.io_backend <- backend
+let virtualized_io t = t.platform.Platform.virtualized_io
+let io_devices t = Option.map (fun io -> (io.tx, io.rx, io.blk)) t.io
+let io_window t = t.io_window
+
+let io_unreclaimed t =
+  match t.io with
+  | None -> []
+  | Some io ->
+      List.filter_map
+        (fun q ->
+          let n = Virtio.unreclaimed q in
+          if n > 0 then Some (Virtio.name q, n) else None)
+        [ io.tx; io.rx; io.blk ]
+
+let tx_stalls t = t.tx_stalls
+
+(* Host side: service a device-readable queue (TX or blk), inject the
+   completion interrupt ([force_irq] bounds batch latency), then run the
+   guest's reclaim as its interrupt handler. *)
+let host_service_queue ?(force_irq = true) t q ~handle =
+  let n = Virtio.service q ~handle in
+  let injected =
+    Virtio.complete ~force:force_irq q ~inject:(fun () ->
+        t.irq_count <- t.irq_count + 1;
+        t.platform.Platform.deliver_irq ())
+  in
+  if injected then ignore (Virtio.reclaim q);
+  n
+
+let host_service_net_tx ?force_irq t ~handle =
+  match t.io with None -> 0 | Some io -> host_service_queue ?force_irq t io.tx ~handle
+
+let host_service_blk ?force_irq t ~handle =
+  match t.io with
+  | None -> 0
+  | Some io ->
+      let sink =
+        match t.io_backend with Some { blk_sink = Some f; _ } -> f | _ -> handle
+      in
+      host_service_queue ?force_irq t io.blk ~handle:(fun data ->
+          sink data;
+          Hw.Clock.charge (clock t) "blk_io"
+            (float_of_int (max 1 ((Bytes.length data + 511) / 512)) *. Hw.Cost.blk_sector))
+
+(* Guest blocked on a full ring: run one synchronous host service pass
+   to make room.  Through the plane when attached, self-serviced when
+   standalone. *)
+let host_service_pass t =
+  match t.io_backend with
+  | Some b -> b.service_now ()
+  | None ->
+      ignore (host_service_net_tx t ~handle:ignore);
+      ignore (host_service_blk t ~handle:ignore)
+
+(* Guest: post [data] with graceful backpressure, then ring-or-not. *)
+let guest_post_kick t q ~data ~(kind : Platform.io_kind) ~(target : kick_target) =
+  let rec post attempts =
+    match Virtio.post q ~data with
+    | `Posted -> ()
+    | `Full ->
+        if attempts > 3 * Virtio.size q then
+          failwith (Printf.sprintf "virtio %s: ring wedged under backpressure" (Virtio.name q));
+        t.tx_stalls <- t.tx_stalls + 1;
+        Hw.Clock.charge (clock t) "virtio_tx_stall" Hw.Cost.virtio_frontend_work;
+        host_service_pass t;
+        post (attempts + 1)
+  in
+  post 0;
+  ignore
+    (Virtio.kick q ~doorbell:(fun () ->
+         t.platform.Platform.hypercall kind;
+         match t.io_backend with Some b -> b.kicked target | None -> ()))
 
 let spawn t =
   let pid = t.next_pid in
@@ -134,14 +280,11 @@ let do_write t task fd data : Syscall.result =
       | Some ep ->
           (* TX goes through the virtio-net frontend (post + doorbell +
              backend service) on virtualized platforms; OS-level
-             containers hit the host NIC natively. *)
+             containers hit the host NIC natively.  A full ring blocks
+             the guest until a host service pass makes room. *)
           if t.platform.Platform.virtualized_io then begin
-            Virtio.post t.net_dev ~len:(Bytes.length data) ~write:true;
-            if not t.net_kick_pending then begin
-              Virtio.kick t.net_dev ~doorbell:(fun () ->
-                  t.platform.Platform.hypercall Platform.Net_tx);
-              t.net_kick_pending <- true
-            end
+            let io = ensure_io t in
+            guest_post_kick t io.tx ~data ~kind:Platform.Net_tx ~target:`Net_tx
           end;
           (match Net.send t.wire ep data with
           | Ok n -> Syscall.Rint n
@@ -208,9 +351,19 @@ let syscall t (task : Task.t) (sc : Syscall.t) : Syscall.result =
           f.Task.pos <- pos;
           Syscall.Rint pos)
   | Syscall.Fsync fd -> (
-      (* tmpfs fsync is a no-op beyond its base work, but a disk file
-         would go through virtio-blk. *)
-      match file_obj task fd with None -> Syscall.Rerr "EBADF" | Some _ -> Syscall.Runit)
+      (* tmpfs fsync is a no-op beyond its base work; with a host block
+         store attached (I/O plane), the dirty bytes ride virtio-blk. *)
+      match file_obj task fd with
+      | None -> Syscall.Rerr "EBADF"
+      | Some f ->
+          (match t.io_backend with
+          | Some { blk_sink = Some _; _ } when t.platform.Platform.virtualized_io ->
+              let size = min (Tmpfs.size f.Task.inode) (8 * 4096) in
+              let data = Tmpfs.read t.fs f.Task.inode ~off:0 ~n:(max size 1) in
+              let io = ensure_io t in
+              guest_post_kick t io.blk ~data ~kind:Platform.Blk_write ~target:`Blk
+          | _ -> ());
+          Syscall.Runit)
   | Syscall.Unlink path -> (
       match Tmpfs.unlink t.fs path with
       | () -> Syscall.Runit
@@ -266,57 +419,66 @@ let syscall_exn t task sc =
 (* Drain the TX queue: host backend services posted descriptors and
    raises one completion interrupt for the batch.  Callers decide the
    batching granularity (per request for unpipelined servers, per
-   event-loop iteration for pipelined ones). *)
+   event-loop iteration for pipelined ones).  Through the plane's
+   service pass when one is attached. *)
 let flush_net t =
-  if t.platform.Platform.virtualized_io && t.net_kick_pending then begin
-    ignore (Virtio.service t.net_dev);
-    t.net_kick_pending <- false;
-    Virtio.complete t.net_dev ~inject:(fun () -> begin
-        t.irq_count <- t.irq_count + 1;
-        t.platform.Platform.deliver_irq ()
-      end)
-  end
+  if t.platform.Platform.virtualized_io then
+    match t.io_backend with
+    | Some b -> b.service_now ()
+    | None -> ignore (host_service_net_tx t ~handle:ignore)
 
-(* A batch of packets arrives from outside for socket [sid]: the host
-   services the RX queue once and injects one interrupt. *)
+(* A batch of packets arrives from outside for socket [sid]: the guest
+   replenishes RX buffer credit (kicking through EVENT_IDX), the host
+   DMAs the payloads into the posted buffers and injects one interrupt
+   for the batch; the guest's handler reclaims them into the socket
+   queue. *)
 let deliver_packets t ~sid payloads =
   match Hashtbl.find_opt t.sockets sid with
   | None -> Error `No_socket
   | Some ep ->
-      List.iter
-        (fun payload ->
-          Queue.add (-1, payload) ep.Net.rx;
-          ep.Net.rx_packets <- ep.Net.rx_packets + 1)
-        payloads;
-      if t.platform.Platform.virtualized_io then
+      let enqueue payload =
+        Queue.add (-1, payload) ep.Net.rx;
+        ep.Net.rx_packets <- ep.Net.rx_packets + 1
+      in
+      if t.platform.Platform.virtualized_io && payloads <> [] then begin
+        let io = ensure_io t in
+        List.iter
+          (fun p ->
+            match Virtio.post_buffer io.rx ~capacity:(max 64 (Bytes.length p)) with
+            | `Posted | `Full -> ())
+          payloads;
+        ignore
+          (Virtio.kick io.rx ~doorbell:(fun () ->
+               t.platform.Platform.hypercall Platform.Net_rx_ack;
+               match t.io_backend with Some b -> b.kicked `Net_rx | None -> ()));
         Hw.Clock.charge (clock t) "virtio_service" Hw.Cost.virtio_backend_service;
-      t.irq_count <- t.irq_count + 1;
-      t.platform.Platform.deliver_irq ();
-      Ok ()
-
-(* A packet arrives from outside for socket [sid]: host services the
-   virtio queue and injects an interrupt into this kernel. *)
-let deliver_packet t ~sid payload =
-  match Hashtbl.find_opt t.sockets sid with
-  | None -> Error `No_socket
-  | Some ep ->
-      Queue.add (-1, payload) ep.Net.rx;
-      ep.Net.rx_packets <- ep.Net.rx_packets + 1;
-      if t.platform.Platform.virtualized_io then begin
-        Hw.Clock.charge (clock t) "virtio_service" Hw.Cost.virtio_backend_service;
-        Virtio.complete t.net_dev ~inject:(fun () -> begin
-            t.irq_count <- t.irq_count + 1;
-            t.platform.Platform.deliver_irq ()
-          end)
+        let missed = List.filter (fun p -> not (Virtio.fill io.rx ~data:p)) payloads in
+        let injected =
+          Virtio.complete ~force:true io.rx ~inject:(fun () ->
+              t.irq_count <- t.irq_count + 1;
+              t.platform.Platform.deliver_irq ())
+        in
+        let received = if injected then Virtio.reclaim io.rx else [] in
+        List.iter enqueue received;
+        (* Ring credit exhausted (undersized test queues): deliver the
+           overflow directly so no packet is lost, with the legacy
+           per-batch interrupt if the ring path injected nothing. *)
+        List.iter enqueue missed;
+        if not injected then begin
+          t.irq_count <- t.irq_count + 1;
+          t.platform.Platform.deliver_irq ()
+        end
       end
       else begin
+        List.iter enqueue payloads;
         t.irq_count <- t.irq_count + 1;
         t.platform.Platform.deliver_irq ()
       end;
       Ok ()
 
+(* A single packet arrives from outside for socket [sid]. *)
+let deliver_packet t ~sid payload = deliver_packets t ~sid [ payload ]
+
 let socket_endpoint t sid = Hashtbl.find_opt t.sockets sid
 let wire t = t.wire
-let net_device t = t.net_dev
-let blk_device t = t.blk_dev
 let irq_count t = t.irq_count

@@ -59,6 +59,55 @@ val deliver_packet : t -> sid:int -> Bytes.t -> (unit, [ `No_socket ]) result
 
 val socket_endpoint : t -> int -> Net.endpoint option
 val wire : t -> Net.t
-val net_device : t -> Virtio.t
-val blk_device : t -> Virtio.t
 val irq_count : t -> int
+
+(** {2 I/O plane} *)
+
+type kick_target = [ `Blk | `Net_rx | `Net_tx ]
+
+type io_backend = {
+  kicked : kick_target -> unit;  (** a doorbell of this kernel rang *)
+  service_now : unit -> unit;
+      (** synchronous host service pass — backpressure and [flush_net]
+          drain through the plane instead of the self-service stub *)
+  blk_sink : (Bytes.t -> unit) option;
+      (** host block store; when present, fsync flushes ride
+          virtio-blk into it *)
+}
+
+val configure_io : ?queue_size:int -> ?window:int -> t -> unit
+(** Set ring geometry (before first use) and the EVENT_IDX coalescing
+    window (any time; 0 = naive). *)
+
+val set_io_backend : t -> io_backend option -> unit
+(** Attach/detach the host I/O plane hooks. *)
+
+val virtualized_io : t -> bool
+(** Whether this kernel's platform routes socket/blk I/O through the
+    virtio rings (false for runc: I/O goes straight to the shared host
+    kernel, no doorbells, no rings). *)
+
+val io_devices : t -> (Virtio.t * Virtio.t * Virtio.t) option
+(** The (net-tx, net-rx, blk) queue triple — [None] until the kernel's
+    first virtualized I/O creates them. *)
+
+val io_window : t -> int
+(** The configured EVENT_IDX window (0 = naive). *)
+
+val io_unreclaimed : t -> (string * int) list
+(** Queues with outstanding descriptor chains (in flight, or completed
+    but unreclaimed) — the quiescence check for snapshot capture. *)
+
+val tx_stalls : t -> int
+(** Times a guest blocked on a full ring until a host service pass made
+    room (graceful backpressure). *)
+
+val host_service_net_tx : ?force_irq:bool -> t -> handle:(Bytes.t -> unit) -> int
+(** Host: service the TX queue, passing each payload to [handle];
+    inject the completion interrupt ([force_irq], default true, bounds
+    batch latency) and run the guest reclaim. Returns chains
+    serviced. *)
+
+val host_service_blk : ?force_irq:bool -> t -> handle:(Bytes.t -> unit) -> int
+(** Host: service the blk queue into the attached block sink (or
+    [handle] when standalone), charging per-sector I/O cost. *)

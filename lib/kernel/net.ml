@@ -10,6 +10,8 @@ type endpoint = {
   mutable peer : int option;
   mutable rx_packets : int;
   mutable tx_packets : int;
+  mutable rx_bytes : int;
+  mutable tx_bytes : int;
 }
 
 type t = {
@@ -23,7 +25,9 @@ let create clock = { endpoints = Hashtbl.create 16; next_id = 0; clock }
 let endpoint t =
   let id = t.next_id in
   t.next_id <- id + 1;
-  let e = { id; rx = Queue.create (); peer = None; rx_packets = 0; tx_packets = 0 } in
+  let e =
+    { id; rx = Queue.create (); peer = None; rx_packets = 0; tx_packets = 0; rx_bytes = 0; tx_bytes = 0 }
+  in
   Hashtbl.replace t.endpoints id e;
   e
 
@@ -46,6 +50,8 @@ let send t (src : endpoint) payload =
       Queue.add (src.id, payload) dst.rx;
       src.tx_packets <- src.tx_packets + 1;
       dst.rx_packets <- dst.rx_packets + 1;
+      src.tx_bytes <- src.tx_bytes + Bytes.length payload;
+      dst.rx_bytes <- dst.rx_bytes + Bytes.length payload;
       Hw.Clock.count t.clock "net_wire";
       Ok (Bytes.length payload)
 

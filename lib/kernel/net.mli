@@ -11,6 +11,8 @@ type endpoint = {
   mutable peer : int option;
   mutable rx_packets : int;
   mutable tx_packets : int;
+  mutable rx_bytes : int;
+  mutable tx_bytes : int;
 }
 
 type t

@@ -1,64 +1,402 @@
-(* VirtIO split-queue model: descriptor ring + avail/used indices.
+(* VirtIO split queue, laid out as real bytes in guest memory.
 
-   The guest posts descriptors and *kicks* the device (an MMIO doorbell
-   = VM exit under HVM, a hypercall under PVM/CKI); the host backend
-   services the queue and raises a (virtual) interrupt back. *)
+   The queue owns four kinds of guest pages, all allocated through the
+   platform's frame allocator (so under CKI they live inside the
+   delegated hPA segment and the Analysis sanitizer can audit them like
+   any other guest page):
 
-type desc = { id : int; len : int; write : bool }
+     - one descriptor-table page: 2 words per descriptor,
+         word 0 = payload-buffer pfn,
+         word 1 = len | flags<<32 | next<<40   (bit 0 = NEXT chain,
+                                                bit 1 = device-WRITE);
+     - one avail page:  word 0 flags, word 1 = avail idx (monotonic),
+         words 2..2+size-1 the ring of head descriptor ids,
+         word 2+size = used_event (guest-written interrupt suppression);
+     - one used page:   word 0 flags, word 1 = used idx,
+         words 2..2+size-1 the ring of id | total_len<<32 entries,
+         word 2+size = avail_event (host-written kick suppression);
+     - [size] payload-buffer pages, one per descriptor; payloads larger
+       than a page ride descriptor chains (NEXT flag).
+
+   Notification suppression is EVENT_IDX-style: [window = 0] models the
+   naive path (every post kicks, every publish batch injects);
+   [window >= 1] negotiates EVENT_IDX with that batch window — the
+   guest kicks only when the avail idx crosses the host-written
+   avail_event, the host injects only when the used idx crosses the
+   guest-written used_event, and [complete ~force:true] bounds latency
+   at batch boundaries.
+
+   The guest side never raises on a full ring: [post]/[post_buffer]
+   return [`Full] after an opportunistic reclaim, and the kernel's
+   backpressure path runs a host service pass and retries. *)
+
+type access = {
+  read_word : Hw.Addr.pfn -> int -> int64;
+  write_word : Hw.Addr.pfn -> int -> int64 -> unit;
+  alloc_frame : unit -> Hw.Addr.pfn;
+}
+
+let words_per_page = Hw.Addr.entries_per_table
+let bytes_per_page = words_per_page * 8
+let max_size = 256
+
+(* Head-descriptor bookkeeping the guest driver keeps privately (the
+   device-visible state is all in the ring pages). *)
+type head = { ndesc : int; len : int; device_writes : bool }
 
 type t = {
   name : string;
   size : int;
-  ring : desc option array;
-  mutable avail_idx : int;
-  mutable used_idx : int;
-  mutable kicks : int;
-  mutable interrupts : int;
+  mutable window : int;  (** 0 = naive; >= 1 = EVENT_IDX batch window *)
+  access : access;
   clock : Hw.Clock.t;
+  desc_page : Hw.Addr.pfn;
+  avail_page : Hw.Addr.pfn;
+  used_page : Hw.Addr.pfn;
+  bufs : Hw.Addr.pfn array;  (** payload page of descriptor i *)
+  mutable free : int list;  (** free descriptor ids *)
+  heads : (int, head) Hashtbl.t;  (** in-flight chains by head id *)
+  (* guest-side shadows *)
+  mutable avail_idx : int;
+  mutable kick_old : int;  (** avail idx at the previous kick decision *)
+  mutable last_used_seen : int;  (** used entries the guest consumed *)
+  (* host-side shadows *)
+  mutable last_avail_seen : int;
+  mutable used_idx : int;
+  mutable unsignaled : int;  (** used entries published since last irq *)
+  mutable complete_old : int;  (** used idx at the previous complete *)
+  (* counters *)
+  mutable kicks : int;
+  mutable suppressed_kicks : int;
+  mutable interrupts : int;
+  mutable suppressed_interrupts : int;
+  mutable serviced_total : int;
 }
 
-exception Ring_full
+(* Ring-page word offsets. *)
+let idx_word = 1
+let ring_word t i = 2 + (i mod t.size)
+let event_word t = 2 + t.size
 
-let create ?(size = 256) ~name clock =
-  { name; size; ring = Array.make size None; avail_idx = 0; used_idx = 0; kicks = 0; interrupts = 0; clock }
+let rd t pfn i = t.access.read_word pfn i
+let wr t pfn i v = t.access.write_word pfn i v
 
-let in_flight t = t.avail_idx - t.used_idx
+let create ?(size = 64) ?(window = 1) ~name (access : access) clock =
+  if size < 2 || size > max_size then invalid_arg "Virtio.create: size must be in 2..256";
+  if window < 0 then invalid_arg "Virtio.create: negative window";
+  let t =
+    {
+      name;
+      size;
+      window;
+      access;
+      clock;
+      desc_page = access.alloc_frame ();
+      avail_page = access.alloc_frame ();
+      used_page = access.alloc_frame ();
+      bufs = Array.init size (fun _ -> access.alloc_frame ());
+      free = List.init size (fun i -> i);
+      heads = Hashtbl.create 16;
+      avail_idx = 0;
+      kick_old = 0;
+      last_used_seen = 0;
+      last_avail_seen = 0;
+      used_idx = 0;
+      unsignaled = 0;
+      complete_old = 0;
+      kicks = 0;
+      suppressed_kicks = 0;
+      interrupts = 0;
+      suppressed_interrupts = 0;
+      serviced_total = 0;
+    }
+  in
+  (* Publish the static half of the descriptor table (buffer pfns) and
+     zero the ring indices / event fields. *)
+  for i = 0 to size - 1 do
+    wr t t.desc_page (2 * i) (Int64.of_int t.bufs.(i));
+    wr t t.desc_page ((2 * i) + 1) 0L
+  done;
+  wr t t.avail_page idx_word 0L;
+  wr t t.avail_page (event_word t) 0L;
+  wr t t.used_page idx_word 0L;
+  wr t t.used_page (event_word t) 0L;
+  Hw.Clock.charge clock "virtio_ring_init" (3.0 *. Hw.Cost.page_zero);
+  t
 
-(* Guest side: post a buffer descriptor. *)
-let post t ~len ~write =
-  if in_flight t >= t.size then raise Ring_full;
-  let slot = t.avail_idx mod t.size in
-  t.ring.(slot) <- Some { id = t.avail_idx; len; write };
-  t.avail_idx <- t.avail_idx + 1;
-  Hw.Clock.charge t.clock "virtio_post" Hw.Cost.virtio_frontend_work
+let size t = t.size
+let window t = t.window
+let set_window t w = if w < 0 then invalid_arg "Virtio.set_window" else t.window <- w
+let in_flight t = t.avail_idx - t.last_avail_seen
+let unreclaimed t = Hashtbl.length t.heads
+let free_descs t = List.length t.free
 
-(* Guest side: ring the doorbell. The caller supplies the platform's
-   exit mechanism (hypercall / MMIO VM exit). *)
+(* ---------------- payload bytes <-> page words ---------------- *)
+
+let copy_into_page t pfn data ~off =
+  let len = min bytes_per_page (Bytes.length data - off) in
+  let words = (len + 7) / 8 in
+  for w = 0 to words - 1 do
+    let v = ref 0L in
+    for b = 0 to 7 do
+      let i = off + (w * 8) + b in
+      if i < Bytes.length data then
+        v := Int64.logor !v (Int64.shift_left (Int64.of_int (Char.code (Bytes.get data i))) (8 * b))
+    done;
+    wr t pfn w !v
+  done;
+  len
+
+let copy_from_page t pfn data ~off =
+  let len = min bytes_per_page (Bytes.length data - off) in
+  let words = (len + 7) / 8 in
+  for w = 0 to words - 1 do
+    let v = rd t pfn w in
+    for b = 0 to 7 do
+      let i = off + (w * 8) + b in
+      if i < Bytes.length data then
+        Bytes.set data i
+          (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * b)) 0xFFL)))
+    done
+  done;
+  len
+
+(* ---------------- descriptor chains ---------------- *)
+
+let flag_next = 1
+let flag_write = 2
+
+let write_desc t id ~len ~flags ~next =
+  wr t t.desc_page ((2 * id) + 1)
+    (Int64.logor (Int64.of_int (len land 0xFFFFFFFF))
+       (Int64.logor
+          (Int64.shift_left (Int64.of_int flags) 32)
+          (Int64.shift_left (Int64.of_int next) 40)))
+
+let read_desc t id =
+  let w = rd t t.desc_page ((2 * id) + 1) in
+  let len = Int64.to_int (Int64.logand w 0xFFFFFFFFL) in
+  let flags = Int64.to_int (Int64.logand (Int64.shift_right_logical w 32) 0xFFL) in
+  let next = Int64.to_int (Int64.logand (Int64.shift_right_logical w 40) 0xFFFFL) in
+  (len, flags, next)
+
+(* Walk a chain from [head], calling [f desc_id seg_len offset]; the
+   payload page of descriptor [id] is word [2*id] of the table (kept in
+   [t.bufs] as a shadow so the walk need not re-read it). *)
+let iter_chain t head f =
+  let rec go id off =
+    let len, flags, next = read_desc t id in
+    f id len off;
+    if flags land flag_next <> 0 then go next (off + len)
+  in
+  go head 0
+
+(* Link [ids] as one chain carrying [len] bytes (device-writable when
+   [write]); every segment but the last spans a whole page.  Returns
+   the head id. *)
+let build_chain t ~ids ~len ~write =
+  let flags_w = if write then flag_write else 0 in
+  let npages = List.length ids in
+  let rec link = function
+    | [] -> assert false
+    | [ last ] ->
+        write_desc t last ~len:(max 0 (len - ((npages - 1) * bytes_per_page))) ~flags:flags_w
+          ~next:0
+    | id :: (next :: _ as rest) ->
+        write_desc t id ~len:bytes_per_page ~flags:(flags_w lor flag_next) ~next;
+        link rest
+  in
+  link ids;
+  List.hd ids
+
+(* ---------------- guest side ---------------- *)
+
+(* Consume published used entries: free their descriptors and (for
+   device-written chains) read the payload back out of guest memory.
+   Returns the device-written payloads, oldest first. *)
+let reclaim t =
+  let out = ref [] in
+  while t.last_used_seen < t.used_idx do
+    let e = rd t t.used_page (ring_word t t.last_used_seen) in
+    let head = Int64.to_int (Int64.logand e 0xFFFFL) in
+    let len = Int64.to_int (Int64.logand (Int64.shift_right_logical e 32) 0xFFFFFFFFL) in
+    (match Hashtbl.find_opt t.heads head with
+    | None -> ()  (* forged/duplicate used entry: nothing to free *)
+    | Some h ->
+        if h.device_writes && len > 0 then begin
+          let data = Bytes.create len in
+          let off = ref 0 in
+          iter_chain t head (fun id _ _ ->
+              if !off < len then off := !off + copy_from_page t t.bufs.(id) data ~off:!off);
+          Hw.Clock.charge t.clock "virtio_copy" (float_of_int len *. Hw.Cost.copy_byte);
+          out := data :: !out
+        end;
+        iter_chain t head (fun id _ _ -> t.free <- id :: t.free);
+        Hashtbl.remove t.heads head);
+    t.last_used_seen <- t.last_used_seen + 1
+  done;
+  (* Re-arm interrupt suppression for the entries we just consumed. *)
+  if t.window >= 1 then
+    wr t t.avail_page (event_word t) (Int64.of_int (t.last_used_seen + t.window - 1));
+  List.rev !out
+
+let take_free t n =
+  let rec go acc k free = if k = 0 then Some (List.rev acc, free) else
+    match free with [] -> None | id :: rest -> go (id :: acc) (k - 1) rest
+  in
+  go [] n t.free
+
+let post_chain t ~data ~capacity ~write =
+  let len = if write then capacity else Bytes.length data in
+  let npages = max 1 ((len + bytes_per_page - 1) / bytes_per_page) in
+  if npages > t.size then invalid_arg "Virtio.post: payload larger than the whole ring";
+  let attempt () =
+    match take_free t npages with
+    | None -> false
+    | Some (ids, rest) ->
+        t.free <- rest;
+        let head = build_chain t ~ids ~len ~write in
+        if not write then begin
+          (* Frontend copies the payload into the DMA buffers. *)
+          let off = ref 0 in
+          List.iter
+            (fun id ->
+              if !off < Bytes.length data then off := !off + copy_into_page t t.bufs.(id) data ~off:!off)
+            ids;
+          Hw.Clock.charge t.clock "virtio_copy" (float_of_int len *. Hw.Cost.copy_byte)
+        end;
+        Hashtbl.replace t.heads head { ndesc = npages; len; device_writes = write };
+        wr t t.avail_page (ring_word t t.avail_idx) (Int64.of_int head);
+        t.avail_idx <- t.avail_idx + 1;
+        wr t t.avail_page idx_word (Int64.of_int t.avail_idx);
+        Hw.Clock.charge t.clock "virtio_post" Hw.Cost.virtio_frontend_work;
+        true
+  in
+  if attempt () then `Posted
+  else begin
+    (* Opportunistically reclaim already-published completions (a real
+       driver checks the used ring before declaring the queue full). *)
+    ignore (reclaim t);
+    if attempt () then `Posted else `Full
+  end
+
+let post t ~data = post_chain t ~data ~capacity:0 ~write:false
+let post_buffer t ~capacity = post_chain t ~data:Bytes.empty ~capacity ~write:true
+
+(* Notify-or-not: with EVENT_IDX the guest kicks only when the new
+   avail idx crosses the host-written avail_event. *)
 let kick t ~doorbell =
-  t.kicks <- t.kicks + 1;
-  doorbell ()
+  let rang =
+    if t.avail_idx = t.kick_old then false  (* nothing new was posted *)
+    else if t.window = 0 then true
+    else begin
+      Hw.Clock.charge t.clock "virtio_event_idx" Hw.Cost.event_idx_check;
+      let ev = Int64.to_int (rd t t.used_page (event_word t)) in
+      ev >= t.kick_old && ev < t.avail_idx
+    end
+  in
+  let had_new = t.avail_idx <> t.kick_old in
+  t.kick_old <- t.avail_idx;
+  if rang then begin
+    t.kicks <- t.kicks + 1;
+    Hw.Clock.charge t.clock "virtio_doorbell" Hw.Cost.doorbell_write;
+    if Hw.Probe.active () then
+      Hw.Probe.emit
+        (Hw.Probe.Io_doorbell { queue = t.name; avail_idx = t.avail_idx; in_flight = in_flight t });
+    doorbell ()
+  end
+  else if had_new then t.suppressed_kicks <- t.suppressed_kicks + 1;
+  rang
 
-(* Host side: service all pending descriptors; returns serviced count.
-   Charges the backend service cost per batch plus copy per byte. *)
-let service t =
-  let n = in_flight t in
+(* ---------------- host side ---------------- *)
+
+let publish_used t ~head ~len =
+  wr t t.used_page (ring_word t t.used_idx)
+    (Int64.logor (Int64.of_int (head land 0xFFFF)) (Int64.shift_left (Int64.of_int len) 32));
+  t.used_idx <- t.used_idx + 1;
+  wr t t.used_page idx_word (Int64.of_int t.used_idx);
+  t.unsignaled <- t.unsignaled + 1;
+  t.serviced_total <- t.serviced_total + 1
+
+let rearm_avail_event t =
+  if t.window >= 1 then
+    wr t t.used_page (event_word t) (Int64.of_int (t.last_avail_seen + t.window - 1))
+
+(* Service pending device-readable chains (TX semantics): read each
+   payload out of guest memory, hand it to [handle], publish the used
+   entry.  Returns the number of chains serviced. *)
+let service t ~handle =
+  let avail = Int64.to_int (rd t t.avail_page idx_word) in
+  let n = avail - t.last_avail_seen in
   if n > 0 then begin
     Hw.Clock.charge t.clock "virtio_service" Hw.Cost.virtio_backend_service;
-    for _ = 1 to n do
-      let slot = t.used_idx mod t.size in
-      (match t.ring.(slot) with
-      | Some d -> Hw.Clock.charge t.clock "virtio_copy" (float_of_int d.len *. Hw.Cost.copy_byte)
-      | None -> ());
-      t.ring.(t.used_idx mod t.size) <- None;
-      t.used_idx <- t.used_idx + 1
-    done
+    while t.last_avail_seen < avail do
+      let head = Int64.to_int (rd t t.avail_page (ring_word t t.last_avail_seen)) in
+      let total = ref 0 in
+      iter_chain t head (fun _ len _ -> total := !total + len);
+      let data = Bytes.create !total in
+      let off = ref 0 in
+      iter_chain t head (fun id _ _ ->
+          if !off < !total then off := !off + copy_from_page t t.bufs.(id) data ~off:!off);
+      Hw.Clock.charge t.clock "virtio_copy" (float_of_int !total *. Hw.Cost.copy_byte);
+      publish_used t ~head ~len:!total;
+      t.last_avail_seen <- t.last_avail_seen + 1;
+      handle data
+    done;
+    rearm_avail_event t
   end;
   n
 
-(* Host side: raise the completion interrupt via [inject]. *)
-let complete t ~inject =
-  t.interrupts <- t.interrupts + 1;
-  inject ()
+(* Fill one posted device-writable buffer with [data] (RX semantics);
+   false when the guest has no buffer credit posted. *)
+let fill t ~data =
+  let avail = Int64.to_int (rd t t.avail_page idx_word) in
+  if t.last_avail_seen >= avail then false
+  else begin
+    let head = Int64.to_int (rd t t.avail_page (ring_word t t.last_avail_seen)) in
+    let len = Bytes.length data in
+    let off = ref 0 in
+    iter_chain t head (fun id _ _ ->
+        if !off < len then off := !off + copy_into_page t t.bufs.(id) data ~off:!off);
+    Hw.Clock.charge t.clock "virtio_copy" (float_of_int len *. Hw.Cost.copy_byte);
+    publish_used t ~head ~len;
+    t.last_avail_seen <- t.last_avail_seen + 1;
+    rearm_avail_event t;
+    true
+  end
+
+(* Inject (or suppress) the completion interrupt for the used entries
+   published since the last injection.  [force] bounds latency at batch
+   boundaries; with [window = 0] every publish batch injects. *)
+let complete ?(force = false) t ~inject =
+  if t.unsignaled = 0 then false
+  else begin
+    let should =
+      if force || t.window = 0 then true
+      else begin
+        Hw.Clock.charge t.clock "virtio_event_idx" Hw.Cost.event_idx_check;
+        let ev = Int64.to_int (rd t t.avail_page (event_word t)) in
+        ev >= t.complete_old && ev < t.used_idx
+      end
+    in
+    t.complete_old <- t.used_idx;
+    if should then begin
+      t.interrupts <- t.interrupts + 1;
+      if Hw.Probe.active () then
+        Hw.Probe.emit
+          (Hw.Probe.Io_completion { queue = t.name; used_idx = t.used_idx; serviced = t.unsignaled });
+      t.unsignaled <- 0;
+      inject ()
+    end
+    else t.suppressed_interrupts <- t.suppressed_interrupts + 1;
+    should
+  end
 
 let kicks t = t.kicks
+let suppressed_kicks t = t.suppressed_kicks
 let interrupts t = t.interrupts
+let suppressed_interrupts t = t.suppressed_interrupts
+let serviced_total t = t.serviced_total
+let name t = t.name
+
+let ring_pages t = (t.desc_page :: t.avail_page :: t.used_page :: Array.to_list t.bufs)

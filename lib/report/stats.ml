@@ -15,6 +15,16 @@ let geomean xs =
 let minimum xs = List.fold_left min infinity xs
 let maximum xs = List.fold_left max neg_infinity xs
 
+(* Nearest-rank percentile (p in [0,100]) of an unsorted sample. *)
+let percentile xs ~p =
+  match xs with
+  | [] -> nan
+  | _ ->
+      let sorted = List.sort compare xs in
+      let n = List.length sorted in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      List.nth sorted (max 0 (min (n - 1) (rank - 1)))
+
 (* Normalize each value to [baseline] (baseline becomes 1.0). *)
 let normalize ~baseline xs = List.map (fun x -> x /. baseline) xs
 

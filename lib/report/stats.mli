@@ -5,6 +5,10 @@ val geomean : float list -> float
 val minimum : float list -> float
 val maximum : float list -> float
 
+val percentile : float list -> p:float -> float
+(** Nearest-rank percentile ([p] in 0..100) of an unsorted sample;
+    [nan] on the empty list. *)
+
 val normalize : baseline:float -> float list -> float list
 (** Each value divided by [baseline]. *)
 

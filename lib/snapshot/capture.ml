@@ -11,6 +11,7 @@
 type error =
   | Cow_pending of int  (** task pid with un-broken CoW pages *)
   | Unsupported_fd of { pid : int; fd : int }
+  | Device_active of { queue : string; unreclaimed : int }
   | Foreign_frame of Hw.Addr.pfn
   | Unreachable_frame of Hw.Addr.pfn
   | Unregistered_root of Hw.Addr.pfn
@@ -20,6 +21,9 @@ let show_error = function
       Printf.sprintf "task %d has un-broken CoW pages (capture a cold or fully-materialized container)" pid
   | Unsupported_fd { pid; fd } ->
       Printf.sprintf "task %d holds fd %d of an unsupported kind (pipe/socket)" pid fd
+  | Device_active { queue; unreclaimed } ->
+      Printf.sprintf "virtio queue %s has %d unreclaimed descriptor chains (quiesce I/O before capture)"
+        queue unreclaimed
   | Foreign_frame pfn -> Printf.sprintf "page tables reference foreign frame %d" pfn
   | Unreachable_frame pfn -> Printf.sprintf "container-owned frame %d is unreachable from any root" pfn
   | Unregistered_root pfn -> Printf.sprintf "declared root %d is not an aspace or kernel root" pfn
@@ -118,6 +122,12 @@ let capture_full (c : Cki.Container.t) : (Image.t * map, error) result =
         if Kernel_model.Mm.cow_count task.Kernel_model.Task.mm > 0 then
           raise (Fail (Cow_pending task.Kernel_model.Task.pid)))
       (Kernel_model.Kernel.tasks kernel);
+    (* ...and no VirtIO queue may hold in-flight or unreclaimed chains:
+       capturing mid-I/O would freeze descriptors the host backend still
+       owns. *)
+    (match Kernel_model.Kernel.io_unreclaimed kernel with
+    | [] -> ()
+    | (queue, unreclaimed) :: _ -> raise (Fail (Device_active { queue; unreclaimed })));
     let kroot = Cki.Ksm.kernel_root ksm in
     let aspace_list =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.aspaces [] |> List.sort compare

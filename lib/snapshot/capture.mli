@@ -16,6 +16,9 @@ type error =
           requires a fully-materialized container. *)
   | Unsupported_fd of { pid : int; fd : int }
       (** Pipes and sockets are connection state, not image state. *)
+  | Device_active of { queue : string; unreclaimed : int }
+      (** A VirtIO queue holds in-flight or unreclaimed descriptor
+          chains; I/O must quiesce before capture. *)
   | Foreign_frame of Hw.Addr.pfn
       (** A page table references a frame outside the container. *)
   | Unreachable_frame of Hw.Addr.pfn

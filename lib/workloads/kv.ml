@@ -68,9 +68,40 @@ type request = Get of int | Set of int
 let encode_request r size =
   match r with Get _ -> Bytes.create 24 | Set _ -> Bytes.create (24 + size)
 
-(* Serve one batch: one RX interrupt delivers the batch, then for each
-   request: recv syscall, store operation, send syscall; the TX queue
-   is flushed (kick + completion interrupt) per event-loop iteration. *)
+(* Handle one already-delivered request: recv syscall, event-loop
+   auxiliary syscalls, protocol compute, store operation, send syscall.
+   The reply rides the TX queue; the caller flushes it at its own
+   batching granularity. *)
+let handle_request srv (req : request) =
+  let b = srv.backend in
+  srv.requests <- srv.requests + 1;
+  (* recv the request *)
+  ignore
+    (Virt.Backend.syscall_exn b srv.task
+       (Kernel_model.Syscall.Recv { fd = srv.sock_fd; n = 1024 }));
+  (* event-loop / epoll auxiliary syscalls *)
+  for _ = 1 to aux_syscalls srv.flavor do
+    ignore (Virt.Backend.syscall_exn b srv.task Kernel_model.Syscall.Sched_yield)
+  done;
+  Profile.compute b (compute_per_request srv.flavor);
+  let reply =
+    match req with
+    | Set (key : int) ->
+        Hashtbl.replace srv.store key (Bytes.create srv.value_size);
+        Bytes.of_string "STORED"
+    | Get key -> (
+        match Hashtbl.find_opt srv.store key with
+        | Some v -> v
+        | None -> Bytes.of_string "MISS")
+  in
+  (* send the reply *)
+  ignore
+    (Virt.Backend.syscall_exn b srv.task
+       (Kernel_model.Syscall.Send { fd = srv.sock_fd; data = reply }))
+
+(* Serve one batch: one RX interrupt delivers the batch, then each
+   request is handled; the TX queue is flushed (kick + completion
+   interrupt) per event-loop iteration. *)
 let serve_batch srv (reqs : request list) =
   let b = srv.backend in
   let k = b.Virt.Backend.kernel in
@@ -80,33 +111,7 @@ let serve_batch srv (reqs : request list) =
    with
   | Ok () -> ()
   | Error `No_socket -> failwith "kv: no socket");
-  List.iter
-    (fun req ->
-      srv.requests <- srv.requests + 1;
-      (* recv the request *)
-      ignore
-        (Virt.Backend.syscall_exn b srv.task
-           (Kernel_model.Syscall.Recv { fd = srv.sock_fd; n = 1024 }));
-      (* event-loop / epoll auxiliary syscalls *)
-      for _ = 1 to aux_syscalls srv.flavor do
-        ignore (Virt.Backend.syscall_exn b srv.task Kernel_model.Syscall.Sched_yield)
-      done;
-      Profile.compute b (compute_per_request srv.flavor);
-      let reply =
-        match req with
-        | Set (key : int) ->
-            Hashtbl.replace srv.store key (Bytes.create srv.value_size);
-            Bytes.of_string "STORED"
-        | Get key -> (
-            match Hashtbl.find_opt srv.store key with
-            | Some v -> v
-            | None -> Bytes.of_string "MISS")
-      in
-      (* send the reply *)
-      ignore
-        (Virt.Backend.syscall_exn b srv.task
-           (Kernel_model.Syscall.Send { fd = srv.sock_fd; data = reply })))
-    reqs;
+  List.iter (handle_request srv) reqs;
   Kernel_model.Kernel.flush_net k;
   (* drain replies on the client side *)
   match Kernel_model.Kernel.socket_endpoint k srv.sock_id with

@@ -35,6 +35,14 @@ val create_server : Virt.Backend.t -> flavor -> server
 
 type request = Get of int | Set of int
 
+val encode_request : request -> int -> Bytes.t
+(** Wire encoding (24-byte header; SET carries the value). *)
+
+val handle_request : server -> request -> unit
+(** Handle one already-delivered request (recv + aux syscalls + compute
+    + store op + send). The reply rides the TX queue; the caller
+    flushes at its own batching granularity. *)
+
 val serve_batch : server -> request list -> unit
 (** One RX interrupt delivers the batch; per request: recv, store op,
     send; the TX queue is flushed (kick + completion interrupt) once. *)

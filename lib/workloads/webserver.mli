@@ -12,5 +12,22 @@ val file_bytes : int
 val rx_batch : int
 val request_compute : kind -> float
 
+type server = {
+  backend : Virt.Backend.t;
+  task : Kernel_model.Task.t;
+  sock_fd : int;
+  sock_id : int;
+  upstream_fd : int;
+  upstream_id : int;
+  file_path : string;
+  kind : kind;
+}
+
+val create : Virt.Backend.t -> kind -> server
+
+val serve_one : server -> unit
+(** Handle one already-delivered request (recv + file work + send);
+    the reply rides the TX queue, flushed by the caller. *)
+
 val run : Virt.Backend.t -> kind -> requests:int -> float
 (** Requests per simulated second. *)

@@ -399,6 +399,54 @@ let test_lint_wrpkrs_outside_gate () =
   in
   check int "truncation tolerated" 0 (List.length truncated)
 
+let test_lint_forged_completion () =
+  (* A completion interrupt with nothing serviced: interrupt forgery
+     (the legitimate host path never injects without publishing). *)
+  let fs =
+    Analysis.Lint.run
+      [ Hw.Probe.Io_completion { queue = "cki1-net-tx"; used_idx = 3; serviced = 0 } ]
+  in
+  check_bool "completion with nothing serviced" true (lint_has "io-forged-completion" fs);
+  (* used_idx replay: the index must strictly advance per completion. *)
+  let fs2 =
+    Analysis.Lint.run
+      [
+        Hw.Probe.Io_completion { queue = "q"; used_idx = 4; serviced = 2 };
+        Hw.Probe.Io_completion { queue = "q"; used_idx = 4; serviced = 1 };
+      ]
+  in
+  check_bool "replayed used_idx" true (lint_has "io-forged-completion" fs2);
+  (* Distinct queues track distinct indexes. *)
+  let fs3 =
+    Analysis.Lint.run
+      [
+        Hw.Probe.Io_completion { queue = "a"; used_idx = 4; serviced = 4 };
+        Hw.Probe.Io_completion { queue = "b"; used_idx = 2; serviced = 2 };
+      ]
+  in
+  check int "per-queue index tracking" 0 (List.length fs3);
+  (* Legitimate advancing completions are clean. *)
+  let ok =
+    Analysis.Lint.run
+      [
+        Hw.Probe.Io_completion { queue = "q"; used_idx = 2; serviced = 2 };
+        Hw.Probe.Io_completion { queue = "q"; used_idx = 4; serviced = 2 };
+      ]
+  in
+  check int "advancing completions are fine" 0 (List.length ok)
+
+let test_lint_empty_doorbell () =
+  (* A doorbell exit with an empty avail ring burns a host service
+     pass for nothing — interrupt-storm shaped. *)
+  let fs =
+    Analysis.Lint.run [ Hw.Probe.Io_doorbell { queue = "q"; avail_idx = 5; in_flight = 0 } ]
+  in
+  check_bool "doorbell with empty ring" true (lint_has "io-empty-doorbell" fs);
+  let ok =
+    Analysis.Lint.run [ Hw.Probe.Io_doorbell { queue = "q"; avail_idx = 5; in_flight = 2 } ]
+  in
+  check int "doorbell with work is fine" 0 (List.length ok)
+
 let test_lint_trace_truncated () =
   let guest = Hw.Pks.pkrs_guest in
   (* Same withdrawn-candidate stream, but with the recorder's drop
@@ -568,6 +616,8 @@ let suite =
         test_case "E3: sysret with IF down" `Quick test_lint_sysret_if_down;
         test_case "E4: forged PKS switch" `Quick test_lint_forged_pks_switch;
         test_case "E1: wrpkrs outside gate" `Quick test_lint_wrpkrs_outside_gate;
+        test_case "io: forged completion" `Quick test_lint_forged_completion;
+        test_case "io: empty doorbell" `Quick test_lint_empty_doorbell;
         test_case "truncation surfaced with withdrawn count" `Quick test_lint_trace_truncated;
         test_case "overflowing recorder end-to-end" `Quick test_trace_truncated_end_to_end;
         test_case "missing TLB shootdown (real machine)" `Quick test_lint_missing_shootdown;

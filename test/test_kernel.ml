@@ -263,22 +263,84 @@ let test_pipe_roundtrip () =
 
 (* ----------------------------- Virtio ----------------------------- *)
 
+let mk_virtio ?(size = 4) ?(window = 1) () =
+  let p = bare_platform () in
+  let access =
+    {
+      Kernel_model.Virtio.read_word = p.Kernel_model.Platform.guest_read_word;
+      write_word = p.Kernel_model.Platform.guest_write_word;
+      alloc_frame = p.Kernel_model.Platform.alloc_frame;
+    }
+  in
+  Kernel_model.Virtio.create ~size ~window ~name:"test" access p.Kernel_model.Platform.clock
+
 let test_virtio_queue () =
-  let clock = Hw.Clock.create () in
-  let q = Kernel_model.Virtio.create ~size:4 ~name:"test" clock in
-  Kernel_model.Virtio.post q ~len:100 ~write:true;
-  Kernel_model.Virtio.post q ~len:200 ~write:true;
+  let q = mk_virtio () in
+  check_bool "post a" true (Kernel_model.Virtio.post q ~data:(Bytes.make 100 'a') = `Posted);
+  check_bool "post b" true (Kernel_model.Virtio.post q ~data:(Bytes.make 200 'b') = `Posted);
   check_int "in flight" 2 (Kernel_model.Virtio.in_flight q);
   let kicked = ref 0 in
-  Kernel_model.Virtio.kick q ~doorbell:(fun () -> incr kicked);
+  check_bool "kick rang" true (Kernel_model.Virtio.kick q ~doorbell:(fun () -> incr kicked));
   check_int "kick delivered" 1 !kicked;
-  check_int "serviced" 2 (Kernel_model.Virtio.service q);
+  (* Second kick with nothing new posted: suppressed, no doorbell. *)
+  check_bool "kick suppressed" false (Kernel_model.Virtio.kick q ~doorbell:(fun () -> incr kicked));
+  check_int "no second doorbell" 1 !kicked;
+  (* Host services the chains, reading payloads out of guest memory. *)
+  let seen = ref [] in
+  check_int "serviced" 2 (Kernel_model.Virtio.service q ~handle:(fun d -> seen := d :: !seen));
+  check_bool "payload bytes" true
+    (match List.rev !seen with
+    | [ a; b ] -> Bytes.length a = 100 && Bytes.get a 0 = 'a' && Bytes.length b = 200 && Bytes.get b 7 = 'b'
+    | _ -> false);
   check_int "drained" 0 (Kernel_model.Virtio.in_flight q);
-  for _ = 1 to 4 do
-    Kernel_model.Virtio.post q ~len:1 ~write:false
+  (* Completion interrupt covers the batch; then the guest reclaims. *)
+  let irqs = ref 0 in
+  check_bool "completion" true (Kernel_model.Virtio.complete q ~inject:(fun () -> incr irqs));
+  check_int "one interrupt" 1 !irqs;
+  check_bool "no double complete" false (Kernel_model.Virtio.complete q ~inject:(fun () -> incr irqs));
+  ignore (Kernel_model.Virtio.reclaim q);
+  check_int "all reclaimed" 0 (Kernel_model.Virtio.unreclaimed q)
+
+let test_virtio_backpressure () =
+  (* A full ring is `Full (graceful backpressure), never an exception;
+     a host service pass plus guest reclaim makes room again. *)
+  let q = mk_virtio ~size:4 () in
+  for i = 1 to 4 do
+    check_bool (Printf.sprintf "post %d" i) true
+      (Kernel_model.Virtio.post q ~data:(Bytes.make 8 'x') = `Posted)
   done;
-  check_raises "ring full" Kernel_model.Virtio.Ring_full (fun () ->
-      Kernel_model.Virtio.post q ~len:1 ~write:false)
+  check_bool "ring full" true (Kernel_model.Virtio.post q ~data:(Bytes.make 8 'y') = `Full);
+  ignore (Kernel_model.Virtio.kick q ~doorbell:ignore);
+  ignore (Kernel_model.Virtio.service q ~handle:ignore);
+  (* The used entries are published: post's opportunistic reclaim frees
+     the descriptors even before the completion interrupt. *)
+  check_bool "room after service" true
+    (Kernel_model.Virtio.post q ~data:(Bytes.make 8 'z') = `Posted)
+
+let test_virtio_event_idx () =
+  (* window=4: after the host re-arms, kicks 1-3 are suppressed and the
+     4th rings the doorbell. *)
+  let q = mk_virtio ~size:16 ~window:4 () in
+  let rings = ref 0 in
+  let post_kick () =
+    ignore (Kernel_model.Virtio.post q ~data:(Bytes.make 8 'k'));
+    ignore (Kernel_model.Virtio.kick q ~doorbell:(fun () -> incr rings))
+  in
+  post_kick ();
+  check_int "first kick rings" 1 !rings;
+  ignore (Kernel_model.Virtio.service q ~handle:ignore);
+  for _ = 1 to 3 do post_kick () done;
+  check_int "suppressed inside window" 1 !rings;
+  post_kick ();
+  check_int "window boundary rings" 2 !rings;
+  (* Naive mode (window=0) rings on every kick. *)
+  let q0 = mk_virtio ~size:16 ~window:0 () in
+  let rings0 = ref 0 in
+  for _ = 1 to 3 do
+    ignore (Kernel_model.Virtio.post q0 ~data:(Bytes.make 8 'n'));
+    ignore (Kernel_model.Virtio.kick q0 ~doorbell:(fun () -> incr rings0))
+  done;
+  check_int "naive rings every time" 3 !rings0
 
 (* ------------------------------- Net ------------------------------ *)
 
@@ -425,7 +487,12 @@ let suite =
         test_case "unlink/truncate" `Quick test_tmpfs_unlink_truncate;
       ] );
     ("kernel/pipe", [ test_case "roundtrip + blocking" `Quick test_pipe_roundtrip ]);
-    ("kernel/virtio", [ test_case "post/kick/service/full" `Quick test_virtio_queue ]);
+    ( "kernel/virtio",
+      [
+        test_case "post/kick/service/complete" `Quick test_virtio_queue;
+        test_case "full ring backpressure" `Quick test_virtio_backpressure;
+        test_case "EVENT_IDX suppression" `Quick test_virtio_event_idx;
+      ] );
     ("kernel/net", [ test_case "endpoints" `Quick test_net_endpoints ]);
     ( "kernel/syscalls",
       [
