@@ -1,4 +1,4 @@
-.PHONY: all build test check examples ci fmt mutants clean
+.PHONY: all build test check examples ci fmt mutants lint-src clean
 
 all: build
 
@@ -10,9 +10,10 @@ test: build
 
 # Full verification: build, test suite, then every example scenario and
 # the demo subcommands under --check (whole-machine invariant scan +
-# probe-trace lint; any finding is a non-zero exit), and a bounded
-# model-check of the privilege state space (exit 2 on counterexample).
-check: test examples
+# probe-trace lint; any finding is a non-zero exit), the static source
+# audit, and a bounded model-check of the privilege state space (exit 2
+# on counterexample).
+check: test examples lint-src
 	dune exec bin/cki_demo.exe -- micro --check
 	dune exec bin/cki_demo.exe -- attack --check
 	dune exec bin/cki_demo.exe -- kv --check --clients 8
@@ -24,6 +25,12 @@ check: test examples
 # the model checker (exit 1 if any survives).
 mutants: build
 	dune exec bin/cki_demo.exe -- model-check --mutants
+
+# Static source audit: TCB write-sink containment, layering DAG,
+# domain-safety inventory, hygiene.  Exit 2 on any finding not covered
+# by srclint.baseline.
+lint-src: build
+	dune exec bin/cki_demo.exe -- lint-src
 
 # Formatting check; a no-op (with a note) where ocamlformat is not
 # installed, so `ci` works in minimal containers too.

@@ -12,7 +12,8 @@
 
    --json additionally writes machine-readable results for the benches
    that support it: snapshot -> BENCH_snapshot.json, modelcheck ->
-   BENCH_modelcheck.json, micro -> BENCH_micro.json. *)
+   BENCH_modelcheck.json, micro -> BENCH_micro.json, srclint ->
+   BENCH_srclint.json. *)
 
 (* Table 2's primitives, re-measured into a JSON artifact. *)
 let micro_json () =
@@ -56,6 +57,9 @@ let () =
     | "ioplane" ->
         Ioplane_bench.run ~json ();
         true
+    | "srclint" ->
+        Srclint_bench.run ~json ();
+        true
     | "micro" ->
         if json then micro_json ()
         else Printf.printf "micro: use --json to write BENCH_micro.json (table form is table2)\n";
@@ -65,7 +69,7 @@ let () =
   match args with
   | [ "list" ] ->
       List.iter (fun (name, _) -> print_endline name) Experiments.all;
-      List.iter print_endline [ "snapshot"; "modelcheck"; "ioplane"; "micro"; "simbench" ]
+      List.iter print_endline [ "snapshot"; "modelcheck"; "ioplane"; "micro"; "srclint"; "simbench" ]
   | [] ->
       Printf.printf "CKI (EuroSys'25) reproduction — full benchmark run\n";
       Printf.printf "===================================================\n";
@@ -77,6 +81,7 @@ let () =
       Snap_bench.run ~json ();
       Mc_bench.run ~json ();
       Ioplane_bench.run ~json ();
+      Srclint_bench.run ~json ();
       if json then micro_json ();
       Simbench.run ()
   | names ->

@@ -9,6 +9,7 @@
      cki_demo restore  [--in FILE]
      cki_demo clone    [--clones N] [--warm K]
      cki_demo model-check [--depth N] [--nest N] [--mutants]
+     cki_demo lint-src [--root DIR] [--baseline FILE] [--write-baseline]
 
    Exit codes: 0 success; 1 usage/command-line errors, an unreadable
    or corrupt snapshot image, or a surviving mutant; 2 when --check
@@ -234,6 +235,52 @@ let clone_cmd_impl clones warm check =
     (!total /. float_of_int (max 1 clones))
 
 (* ------------------------------------------------------------------ *)
+(* Source auditing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let lint_src root baseline write_baseline =
+  let root =
+    match root with
+    | Some r -> r
+    | None -> (
+        match Srclint.find_root () with
+        | Some r -> r
+        | None ->
+            Printf.eprintf "lint-src: no repo root (dune-project + lib/) above %s\n" (Sys.getcwd ());
+            exit 1)
+  in
+  let baseline_path =
+    match baseline with Some b -> b | None -> Filename.concat root "srclint.baseline"
+  in
+  let scan = Srclint.scan ~root () in
+  if write_baseline then begin
+    Srclint.Baseline.save baseline_path scan.Srclint.findings;
+    Printf.printf "%s: wrote %d accepted finding(s) (%s)\n" baseline_path
+      (List.length scan.Srclint.findings)
+      (Format.asprintf "%a" Srclint.pp_stats scan.Srclint.stats)
+  end
+  else begin
+    let entries =
+      match Srclint.Baseline.load baseline_path with
+      | Ok e -> e
+      | Error msg ->
+          Printf.eprintf "lint-src: %s\n" msg;
+          exit 1
+    in
+    let chk = Srclint.check ~baseline:entries scan.Srclint.findings in
+    Report.Findings.print ~title:"srclint" (Srclint.to_findings chk.Srclint.fresh);
+    Format.printf "%a; %d baselined, %d new@." Srclint.pp_stats scan.Srclint.stats
+      (List.length chk.Srclint.baselined)
+      (List.length chk.Srclint.fresh);
+    List.iter
+      (fun e ->
+        Printf.printf "stale baseline entry (fires nothing, delete it): %s\n"
+          (Srclint.Baseline.fingerprint_of_entry e))
+      chk.Srclint.stale;
+    if chk.Srclint.fresh <> [] then exit 2
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Model checking                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -373,6 +420,35 @@ let clone_cmd =
        ~doc:"Pre-boot frozen templates into a warm pool and serve CoW clones from it.")
     Term.(const clone_cmd_impl $ clones $ warm $ check_arg)
 
+let lint_src_cmd =
+  let root =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "root" ] ~doc:"Repo root to audit (default: discovered from the current directory).")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~doc:"Baseline file of accepted findings (default: ROOT/srclint.baseline).")
+  in
+  let write =
+    Arg.(
+      value & flag
+      & info [ "write-baseline" ]
+          ~doc:"Regenerate the baseline accepting every current finding, then exit 0.")
+  in
+  Cmd.v
+    (Cmd.info "lint-src" ~exits
+       ~doc:
+         "Statically audit the repo's own OCaml sources: raw memory write sinks outside the \
+          TCB allowlist, inter-library layering violations, module-toplevel mutable state \
+          (domain-sharding race hazards), and hygiene (missing .mli, Obj.magic / assert \
+          false in TCB files, unpaired gate probes).  Exits 2 on any finding not covered by \
+          the baseline.")
+    Term.(const lint_src $ root $ baseline $ write)
+
 let model_check_cmd =
   let depth =
     Arg.(
@@ -417,4 +493,5 @@ let () =
             restore_cmd;
             clone_cmd;
             model_check_cmd;
+            lint_src_cmd;
           ]))

@@ -84,7 +84,17 @@ let pp_event fmt = function
 
 let show_event e = Format.asprintf "%a" pp_event e
 
+(* The installed sink is deliberately process-global, *single-domain*
+   state: exactly one recorder (the analysis library's) is attached
+   around a scenario, and emit sites pay one unsynchronized ref read
+   when disabled.  A domain-sharded engine must give each domain its
+   own recorder before sharing this module (ROADMAP: raw-speed engine
+   overhaul); the annotation below records that decision for the
+   srclint domain-safety rule. *)
 let sink : (event -> unit) option ref = ref None
+[@@single_domain
+  "one probe sink, installed by the single-domain analysis recorder; per-domain sinks are a \
+   prerequisite of the domain-sharding engine overhaul"]
 
 let active () = match !sink with None -> false | Some _ -> true
 let emit ev = match !sink with None -> () | Some f -> f ev

@@ -48,13 +48,15 @@ type t = {
           pass made room (graceful backpressure, not an error) *)
 }
 
-let next_kernel_id = ref 0
+(* Process-wide id allocator.  [Atomic.t] so kernels instantiated from
+   different domains (the planned container-sharding engine) never mint
+   the same queue-naming id; single-domain behaviour is unchanged. *)
+let next_kernel_id = Atomic.make 0
 
 let create platform =
   let clock = platform.Platform.clock in
-  incr next_kernel_id;
   {
-    id = !next_kernel_id;
+    id = Atomic.fetch_and_add next_kernel_id 1 + 1;
     platform;
     fs = Tmpfs.create clock;
     sched = Sched.create platform;

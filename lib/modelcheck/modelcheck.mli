@@ -1,0 +1,18 @@
+(** Deterministic bounded model checker over the CKI privilege machine.
+
+    {!State} canonicalizes the security-relevant machine state;
+    {!Transition} enumerates every attacker-enabled action and executes
+    it against the real [Hw.Cpu]/[Cki.Gates] simulator; {!Explore} runs
+    a memoized BFS checking every {!Property} on every reachable state
+    and edge; {!Cex} renders shortest counterexamples; {!Mutants} is
+    the mutation-testing harness that checks the checker; {!Policy} is
+    the golden copy of the paper's Table 3 the checker judges against. *)
+
+module State = State
+module Action = Action
+module Policy = Policy
+module Transition = Transition
+module Property = Property
+module Explore = Explore
+module Cex = Cex
+module Mutants = Mutants

@@ -1,0 +1,78 @@
+(* The checked-in list of accepted findings.
+
+   One fingerprint per line — `<rule> <file> <symbol>`, `#` comments —
+   matching [Rules.fingerprint].  A baseline line covers every
+   occurrence of that (rule, file, symbol) triple, so a file with two
+   accepted calls to the same sink needs one entry, and line-number
+   churn never invalidates it.  Entries that no longer match anything
+   are reported as stale so the file shrinks as debt is paid down. *)
+
+type entry = { rule : string; file : string; symbol : string }
+
+let fingerprint_of_entry e = Printf.sprintf "%s %s %s" e.rule e.file e.symbol
+
+let parse_line line =
+  let line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [] -> Ok None
+  | [ rule; file; symbol ] -> Ok (Some { rule; file; symbol })
+  | _ -> Error "expected `<rule> <file> <symbol>`"
+
+let load path =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go n acc =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc)
+          | line -> (
+              match parse_line line with
+              | Ok None -> go (n + 1) acc
+              | Ok (Some e) -> go (n + 1) (e :: acc)
+              | Error msg -> Error (Printf.sprintf "%s:%d: %s" path n msg))
+        in
+        go 1 [])
+  end
+
+let matches entry (f : Rules.finding) =
+  entry.rule = f.Rules.rule && entry.file = f.Rules.file && entry.symbol = f.Rules.symbol
+
+(* Split [findings] into (accepted-by-baseline, fresh); also return the
+   baseline entries that matched nothing (stale). *)
+let apply entries findings =
+  let used = Hashtbl.create 16 in
+  let baselined, fresh =
+    List.partition
+      (fun f ->
+        match List.find_opt (fun e -> matches e f) entries with
+        | Some e ->
+            Hashtbl.replace used (fingerprint_of_entry e) ();
+            true
+        | None -> false)
+      findings
+  in
+  let stale =
+    List.filter (fun e -> not (Hashtbl.mem used (fingerprint_of_entry e))) entries
+  in
+  (baselined, fresh, stale)
+
+let save path findings =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        "# srclint baseline: accepted findings, one `<rule> <file> <symbol>` per line.\n\
+         # Regenerate with `cki_demo lint-src --write-baseline`; shrink it, don't grow it.\n";
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun f ->
+          let fp = Rules.fingerprint f in
+          if not (Hashtbl.mem seen fp) then begin
+            Hashtbl.add seen fp ();
+            output_string oc (fp ^ "\n")
+          end)
+        findings)

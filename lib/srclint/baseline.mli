@@ -1,0 +1,20 @@
+(** The checked-in list of accepted findings: one
+    [<rule> <file> <symbol>] fingerprint per line, [#] comments.  A
+    line covers every occurrence of its triple and survives
+    line-number churn. *)
+
+type entry = { rule : string; file : string; symbol : string }
+
+val fingerprint_of_entry : entry -> string
+
+val load : string -> (entry list, string) result
+(** A missing file is an empty baseline; a malformed line is an
+    [Error] with position. *)
+
+val apply : entry list -> Rules.finding list -> Rules.finding list * Rules.finding list * entry list
+(** [apply entries findings] is [(baselined, fresh, stale)]: findings
+    accepted by the baseline, findings that must fail the run, and
+    baseline entries that matched nothing. *)
+
+val save : string -> Rules.finding list -> unit
+(** Write a baseline accepting exactly [findings] (deduplicated). *)

@@ -1,0 +1,28 @@
+(** Per-file fact extraction over the compiler-libs AST: everything the
+    rule families consume, collected in one iterator pass plus a
+    shallow toplevel walk. *)
+
+type toplevel_mutable = {
+  tm_name : string;  (** the binding's name *)
+  tm_kind : string;  (** what made it mutable, e.g. ["ref"] *)
+  tm_line : int;
+}
+
+type t = {
+  module_refs : (string * int) list;
+      (** head module of every dotted path, with the first line it
+          appears on — deduplicated per head *)
+  sink_refs : (string * int) list;  (** raw-memory write sinks, every occurrence *)
+  toplevel_mutables : toplevel_mutable list;
+  undocumented_annots : (string * int) list;
+      (** [@@single_domain] without a reason string *)
+  gate_enters : int list;  (** lines constructing [Probe.Gate_enter] *)
+  gate_exits : int list;
+  obj_magics : int list;
+  assert_falses : int list;
+}
+
+val write_sinks : string list
+(** The [Phys_mem] mutators only the TCB may reach. *)
+
+val extract : Parsetree.structure -> t

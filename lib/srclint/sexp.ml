@@ -1,0 +1,99 @@
+(* A minimal s-expression reader, just enough for dune files.
+
+   Handles atoms, double-quoted strings (with the usual backslash
+   escapes left undecoded — dune library stanzas never need them),
+   nested lists and `;` line comments.  No external dependency, so the
+   auditor stays self-contained instead of shelling out to
+   `dune describe`. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let parse_string (src : string) : t list =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_blank () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_blank ()
+    | Some ';' ->
+        while !pos < n && src.[!pos] <> '\n' do
+          advance ()
+        done;
+        skip_blank ()
+    | _ -> ()
+  in
+  let read_string () =
+    advance ();
+    (* opening quote *)
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Parse_error "unterminated string")
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          Buffer.add_char buf '\\';
+          advance ();
+          (match peek () with
+          | Some c ->
+              Buffer.add_char buf c;
+              advance ()
+          | None -> raise (Parse_error "unterminated escape"));
+          go ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let read_atom () =
+    let start = !pos in
+    let stop = ref false in
+    while (not !stop) && !pos < n do
+      match src.[!pos] with
+      | ' ' | '\t' | '\n' | '\r' | '(' | ')' | ';' | '"' -> stop := true
+      | _ -> advance ()
+    done;
+    String.sub src start (!pos - start)
+  in
+  let rec read_sexp () =
+    skip_blank ();
+    match peek () with
+    | None -> raise (Parse_error "unexpected end of input")
+    | Some '(' ->
+        advance ();
+        let items = ref [] in
+        let rec items_loop () =
+          skip_blank ();
+          match peek () with
+          | Some ')' -> advance ()
+          | None -> raise (Parse_error "unterminated list")
+          | Some _ ->
+              items := read_sexp () :: !items;
+              items_loop ()
+        in
+        items_loop ();
+        List (List.rev !items)
+    | Some ')' -> raise (Parse_error "unbalanced ')'")
+    | Some '"' -> Atom (read_string ())
+    | Some _ -> Atom (read_atom ())
+  in
+  let out = ref [] in
+  skip_blank ();
+  while !pos < n do
+    out := read_sexp () :: !out;
+    skip_blank ()
+  done;
+  List.rev !out
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))

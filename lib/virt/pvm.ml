@@ -34,15 +34,15 @@ type state = {
   nested : bool;
 }
 
-let next_container_id = ref 0
+(* Process-wide id allocator.  [Atomic.t] so backends created from
+   different domains (the planned container-sharding engine) never mint
+   the same id; single-domain behaviour is unchanged. *)
+let next_container_id = Atomic.make 0
 
 let create ?(env = Env.Bare_metal) (machine : Hw.Machine.t) : Backend.t =
   let clock = Hw.Machine.clock machine in
   let nested = Env.is_nested env in
-  let container_id =
-    incr next_container_id;
-    !next_container_id
-  in
+  let container_id = Atomic.fetch_and_add next_container_id 1 + 1 in
   let st =
     {
       machine;
