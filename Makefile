@@ -1,4 +1,4 @@
-.PHONY: all build test check examples ci fmt mutants lint-src clean
+.PHONY: all build test check examples ci fmt mutants lint-src bench-json validate-bench clean
 
 all: build
 
@@ -32,6 +32,17 @@ mutants: build
 lint-src: build
 	dune exec bin/cki_demo.exe -- lint-src
 
+# Regenerate every checked-in benchmark artifact (BENCH_*.json) in the
+# repo root.  Each bench writes its file into the current directory.
+bench-json: build
+	dune exec bench/main.exe -- --json snapshot modelcheck ioplane srclint engine micro
+	$(MAKE) validate-bench
+
+# Parse every checked-in BENCH_*.json with the in-repo JSON parser
+# (Report.Json.parse); exit non-zero if any artifact is malformed.
+validate-bench: build
+	dune exec bench/main.exe -- validate
+
 # Formatting check; a no-op (with a note) where ocamlformat is not
 # installed, so `ci` works in minimal containers too.
 fmt:
@@ -46,6 +57,7 @@ fmt:
 ci: build fmt
 	dune runtest
 	$(MAKE) check
+	$(MAKE) validate-bench
 
 examples: build
 	dune exec examples/quickstart.exe

@@ -13,7 +13,48 @@
    --json additionally writes machine-readable results for the benches
    that support it: snapshot -> BENCH_snapshot.json, modelcheck ->
    BENCH_modelcheck.json, micro -> BENCH_micro.json, srclint ->
-   BENCH_srclint.json. *)
+   BENCH_srclint.json, ioplane -> BENCH_ioplane.json, engine ->
+   BENCH_engine.json.
+
+   `validate` parses every BENCH_*.json in the current directory with
+   Report.Json.parse and fails if any is malformed — the CI check that
+   the checked-in artifacts stay well-formed. *)
+
+let validate_artifacts () =
+  let files =
+    Sys.readdir "."
+    |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 6 && String.sub f 0 6 = "BENCH_" && Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  if files = [] then begin
+    Printf.eprintf "validate: no BENCH_*.json in the current directory\n";
+    exit 1
+  end;
+  let bad = ref 0 in
+  List.iter
+    (fun f ->
+      match Report.Json.parse_file f with
+      | Ok (Report.Json.Obj fields) ->
+          let bench =
+            match List.assoc_opt "bench" fields with
+            | Some (Report.Json.String s) -> s
+            | _ -> "?"
+          in
+          Printf.printf "  %-24s ok (bench=%s, %d top-level fields)\n" f bench
+            (List.length fields)
+      | Ok _ ->
+          Printf.printf "  %-24s MALFORMED: top level is not an object\n" f;
+          incr bad
+      | Error e ->
+          Printf.printf "  %-24s MALFORMED: %s\n" f e;
+          incr bad)
+    files;
+  if !bad > 0 then begin
+    Printf.eprintf "validate: %d malformed artifact(s)\n" !bad;
+    exit 1
+  end
 
 (* Table 2's primitives, re-measured into a JSON artifact. *)
 let micro_json () =
@@ -60,6 +101,12 @@ let () =
     | "srclint" ->
         Srclint_bench.run ~json ();
         true
+    | "engine" ->
+        Engine_bench.run ~json ();
+        true
+    | "validate" ->
+        validate_artifacts ();
+        true
     | "micro" ->
         if json then micro_json ()
         else Printf.printf "micro: use --json to write BENCH_micro.json (table form is table2)\n";
@@ -69,7 +116,8 @@ let () =
   match args with
   | [ "list" ] ->
       List.iter (fun (name, _) -> print_endline name) Experiments.all;
-      List.iter print_endline [ "snapshot"; "modelcheck"; "ioplane"; "micro"; "srclint"; "simbench" ]
+      List.iter print_endline
+        [ "snapshot"; "modelcheck"; "ioplane"; "micro"; "srclint"; "engine"; "simbench"; "validate" ]
   | [] ->
       Printf.printf "CKI (EuroSys'25) reproduction — full benchmark run\n";
       Printf.printf "===================================================\n";
@@ -82,6 +130,7 @@ let () =
       Mc_bench.run ~json ();
       Ioplane_bench.run ~json ();
       Srclint_bench.run ~json ();
+      Engine_bench.run ~json ();
       if json then micro_json ();
       Simbench.run ()
   | names ->

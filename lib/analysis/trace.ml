@@ -1,31 +1,23 @@
-(* Bounded event recorder: a queue with drop-oldest overflow. *)
+(* Bounded event recorder over an int-encoded probe ring.
 
-type t = {
-  capacity : int;
-  q : Hw.Probe.event Queue.t;
-  mutable dropped : int;
-}
+   Recording costs a few array stores per event (no allocation); the
+   stream is decoded back into [Hw.Probe.event] values only when the
+   lint pass asks for it.  Overflow drops the oldest records, so long
+   scenarios degrade gracefully instead of growing without bound. *)
+
+type t = { ring : Hw.Probe.ring }
 
 let create ?(capacity = 65536) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { capacity; q = Queue.create (); dropped = 0 }
+  { ring = Hw.Probe.ring_create ~capacity () }
 
-let record t ev =
-  if Queue.length t.q >= t.capacity then begin
-    ignore (Queue.pop t.q);
-    t.dropped <- t.dropped + 1
-  end;
-  Queue.add ev t.q
-
-let attach t = Hw.Probe.set_sink (record t)
+let record t ev = Hw.Probe.ring_record t.ring ev
+let attach t = Hw.Probe.set_ring t.ring
 let detach () = Hw.Probe.clear_sink ()
-let events t = List.of_seq (Queue.to_seq t.q)
-let length t = Queue.length t.q
-let dropped t = t.dropped
-
-let clear t =
-  Queue.clear t.q;
-  t.dropped <- 0
+let events t = Hw.Probe.ring_events t.ring
+let length t = Hw.Probe.ring_length t.ring
+let dropped t = Hw.Probe.ring_dropped t.ring
+let clear t = Hw.Probe.ring_clear t.ring
 
 let with_recorder ?capacity f =
   let t = create ?capacity () in

@@ -1,7 +1,10 @@
 (** Ring-buffer recorder for {!Hw.Probe} events.
 
     Attach a recorder around a scenario, run it, detach, then hand the
-    captured event stream to {!Lint.run}. The buffer is bounded:
+    captured event stream to {!Lint.run}. Events are recorded into a
+    flat int-encoded {!Hw.Probe.ring} (a few array stores per event, no
+    allocation) and decoded back into {!Hw.Probe.event} values lazily
+    when {!events} is called at lint time. The buffer is bounded:
     when full, the oldest events are dropped (and counted), so long
     scenarios degrade gracefully instead of growing without bound — the
     lint rules tolerate a truncated prefix. *)

@@ -3,38 +3,119 @@
    Every latency the simulator charges flows through a [Clock.t]; event
    counters record *why* time was spent so tests can make structural
    assertions ("a PVM page fault performs 6 context switches") and the
-   benches can print breakdowns. *)
+   benches can print breakdowns.
+
+   Two tiers of accounting:
+
+   - the general string-keyed path ([charge]/[count]) backed by
+     hashtables — fine for cold events (boots, snapshots, gate
+     crossings);
+   - a fast path for the engine's per-access hot events: a handful of
+     well-known event names are pre-interned at fixed integer ids
+     ([id_tlb_hit] &c.), charged through flat arrays ([charge_id]) with
+     no hashing or boxing.  Every query ([occurrences], [spent_on],
+     [events], [pp]) merges both tiers, so callers cannot observe which
+     tier an event was charged through. *)
+
+(* Well-known hot events, interned at fixed ids.  Ids are part of the
+   accounting format; append only. *)
+let id_tlb_hit = 0
+let id_tlb_miss_walk = 1
+let id_virtio_copy = 2
+let id_virtio_post = 3
+let id_virtio_service = 4
+let id_virtio_event_idx = 5
+let id_virtio_doorbell = 6
+let num_ids = 7
+
+let id_name = function
+  | 0 -> "tlb_hit"
+  | 1 -> "tlb_miss_walk"
+  | 2 -> "virtio_copy"
+  | 3 -> "virtio_post"
+  | 4 -> "virtio_service"
+  | 5 -> "virtio_event_idx"
+  | 6 -> "virtio_doorbell"
+  | _ -> invalid_arg "Clock.id_name"
 
 type t = {
   mutable now_ns : float;
   counters : (string, int) Hashtbl.t;
   spent : (string, float) Hashtbl.t;
+  id_counts : int array;  (** well-known tier, indexed by id *)
+  id_spent : float array;
 }
 
-let create () = { now_ns = 0.0; counters = Hashtbl.create 64; spent = Hashtbl.create 64 }
+let create () =
+  {
+    now_ns = 0.0;
+    counters = Hashtbl.create 64;
+    spent = Hashtbl.create 64;
+    id_counts = Array.make num_ids 0;
+    id_spent = Array.make num_ids 0.0;
+  }
 
 let now t = t.now_ns
 
-(* Charge [ns] of simulated time attributed to [event]. *)
-let charge t event ns =
+(* Charge [ns] of simulated time attributed to the pre-interned event
+   [id]: two array stores, no hashing, no allocation. *)
+let charge_id t id ns =
   t.now_ns <- t.now_ns +. ns;
-  Hashtbl.replace t.counters event (1 + Option.value ~default:0 (Hashtbl.find_opt t.counters event));
-  Hashtbl.replace t.spent event (ns +. Option.value ~default:0.0 (Hashtbl.find_opt t.spent event))
+  t.id_counts.(id) <- t.id_counts.(id) + 1;
+  t.id_spent.(id) <- t.id_spent.(id) +. ns
+
+let count_id t id = t.id_counts.(id) <- t.id_counts.(id) + 1
+
+(* Resolve a string event name to its well-known id, if any.  Only used
+   on cold paths (queries, and the string [charge] below). *)
+let id_of_name = function
+  | "tlb_hit" -> 0
+  | "tlb_miss_walk" -> 1
+  | "virtio_copy" -> 2
+  | "virtio_post" -> 3
+  | "virtio_service" -> 4
+  | "virtio_event_idx" -> 5
+  | "virtio_doorbell" -> 6
+  | _ -> -1
+
+(* Charge [ns] of simulated time attributed to [event].  Well-known
+   names are redirected to the fast tier so both charge paths feed the
+   same counters. *)
+let charge t event ns =
+  let id = id_of_name event in
+  if id >= 0 then charge_id t id ns
+  else begin
+    t.now_ns <- t.now_ns +. ns;
+    Hashtbl.replace t.counters event (1 + Option.value ~default:0 (Hashtbl.find_opt t.counters event));
+    Hashtbl.replace t.spent event (ns +. Option.value ~default:0.0 (Hashtbl.find_opt t.spent event))
+  end
 
 (* Record an event occurrence without advancing time. *)
 let count t event =
-  Hashtbl.replace t.counters event (1 + Option.value ~default:0 (Hashtbl.find_opt t.counters event))
+  let id = id_of_name event in
+  if id >= 0 then count_id t id
+  else
+    Hashtbl.replace t.counters event (1 + Option.value ~default:0 (Hashtbl.find_opt t.counters event))
 
 (* Advance time without attributing it to a named event (pure compute). *)
 let advance t ns = t.now_ns <- t.now_ns +. ns
 
-let occurrences t event = Option.value ~default:0 (Hashtbl.find_opt t.counters event)
-let spent_on t event = Option.value ~default:0.0 (Hashtbl.find_opt t.spent event)
+let occurrences t event =
+  let id = id_of_name event in
+  if id >= 0 then t.id_counts.(id)
+  else Option.value ~default:0 (Hashtbl.find_opt t.counters event)
+
+let spent_on t event =
+  let id = id_of_name event in
+  if id >= 0 then t.id_spent.(id)
+  else Option.value ~default:0.0 (Hashtbl.find_opt t.spent event)
 
 let reset t =
   t.now_ns <- 0.0;
   Hashtbl.reset t.counters;
-  Hashtbl.reset t.spent
+  Hashtbl.reset t.spent;
+  Array.fill t.id_counts 0 num_ids 0;
+  Array.fill t.id_spent 0 num_ids 0.0
 
 (* Run [f] and return its result together with the simulated time it
    consumed. *)
@@ -44,8 +125,32 @@ let timed t f =
   (r, t.now_ns -. t0)
 
 let events t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  let acc = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters [] in
+  let acc = ref acc in
+  for i = 0 to num_ids - 1 do
+    if t.id_counts.(i) > 0 then acc := (id_name i, t.id_counts.(i)) :: !acc
+  done;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
+
+(* Ordered reduction support for the domain-sharded engine: fold [src]'s
+   elapsed time and every counter into [into].  Callers reduce per-lane
+   clocks in a fixed lane order, so merged totals are deterministic
+   (float additions happen in the same order every run). *)
+let add_into ~into src =
+  into.now_ns <- into.now_ns +. src.now_ns;
+  for i = 0 to num_ids - 1 do
+    into.id_counts.(i) <- into.id_counts.(i) + src.id_counts.(i);
+    into.id_spent.(i) <- into.id_spent.(i) +. src.id_spent.(i)
+  done;
+  List.iter
+    (fun (e, n) ->
+      if id_of_name e < 0 then begin
+        Hashtbl.replace into.counters e (n + Option.value ~default:0 (Hashtbl.find_opt into.counters e));
+        let ns = Option.value ~default:0.0 (Hashtbl.find_opt src.spent e) in
+        Hashtbl.replace into.spent e (ns +. Option.value ~default:0.0 (Hashtbl.find_opt into.spent e))
+      end)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b)
+       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) src.counters []))
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>clock: %.0f ns@," t.now_ns;

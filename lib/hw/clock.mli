@@ -16,6 +16,35 @@ val charge : t -> string -> float -> unit
 (** [charge t event ns] advances simulated time by [ns], attributed to
     [event] (occurrence count and total ns are both recorded). *)
 
+(** {1 Pre-interned hot events}
+
+    The engine's per-access costs are charged through fixed integer
+    ids backed by flat arrays — no hashing, no allocation.  The two
+    tiers feed the same counters: [occurrences t "tlb_hit"] sees
+    charges made through [charge_id t id_tlb_hit]. *)
+
+val id_tlb_hit : int
+val id_tlb_miss_walk : int
+val id_virtio_copy : int
+val id_virtio_post : int
+val id_virtio_service : int
+val id_virtio_event_idx : int
+val id_virtio_doorbell : int
+
+val id_name : int -> string
+(** The event name a well-known id stands for. *)
+
+val charge_id : t -> int -> float -> unit
+(** [charge t (id_name id) ns], without the hashing. *)
+
+val count_id : t -> int -> unit
+
+val add_into : into:t -> t -> unit
+(** [add_into ~into src] folds [src]'s elapsed time and every event
+    counter into [into].  The domain-sharded engine reduces per-lane
+    clocks with this in a fixed lane order, so merged totals are
+    deterministic. *)
+
 val count : t -> string -> unit
 (** Record an event occurrence without advancing time. *)
 

@@ -49,13 +49,24 @@ let walk t va =
   in
   go Addr.levels t.root 0 []
 
-let translate t va =
-  let w = walk t va in
-  if w.leaf_level = 2 then
-    Addr.pa_of_pfn (Pte.pfn w.pte) lor (va land ((1 lsl 21) - 1))
-  else Addr.pa_of_pfn (Pte.pfn w.pte) lor Addr.page_offset va
+(* Trail-free leaf walk for the hot paths ([translate]/[unmap]/
+   [update]): same traversal as [walk] but returns only the leaf entry
+   and its containing table, allocating nothing. *)
+let rec walk_leaf t va lvl table_pfn =
+  let e = entry_at t ~table_pfn ~lvl va in
+  if not (Pte.is_present e) then raise (Translation_fault { va; level = lvl })
+  else if lvl = 1 || (lvl = 2 && Pte.is_huge e) then (e, lvl, table_pfn)
+  else walk_leaf t va (lvl - 1) (Pte.pfn e)
 
-let is_mapped t va = match walk t va with _ -> true | exception Translation_fault _ -> false
+let translate t va =
+  let pte, leaf_level, _ = walk_leaf t va Addr.levels t.root in
+  if leaf_level = 2 then Addr.pa_of_pfn (Pte.pfn pte) lor (va land ((1 lsl 21) - 1))
+  else Addr.pa_of_pfn (Pte.pfn pte) lor Addr.page_offset va
+
+let is_mapped t va =
+  match walk_leaf t va Addr.levels t.root with
+  | _ -> true
+  | exception Translation_fault _ -> false
 
 (* Ensure intermediate tables exist down to [down_to] (2 for huge-page
    leaves, 1 otherwise); returns the table frame at that level.
@@ -101,18 +112,16 @@ let map_huge t ?(alloc_table = fun ~level -> default_alloc_table t.mem ~owner:(P
   old
 
 let unmap t va =
-  match walk t va with
+  match walk_leaf t va Addr.levels t.root with
   | exception Translation_fault _ -> Pte.empty
-  | w ->
-      let lvl, table_pfn = List.nth w.trail (List.length w.trail - 1) in
+  | pte, lvl, table_pfn ->
       write_at t ~table_pfn ~lvl va Pte.empty;
-      w.pte
+      pte
 
 (* Update the leaf PTE for [va] in place via [f]; the page must be mapped. *)
 let update t va f =
-  let w = walk t va in
-  let lvl, table_pfn = List.nth w.trail (List.length w.trail - 1) in
-  write_at t ~table_pfn ~lvl va (f w.pte)
+  let pte, lvl, table_pfn = walk_leaf t va Addr.levels t.root in
+  write_at t ~table_pfn ~lvl va (f pte)
 
 let set_accessed_dirty t va ~write =
   update t va (fun e -> if write then Pte.mark_dirty (Pte.mark_accessed e) else Pte.mark_accessed e)

@@ -2,8 +2,15 @@
 
     Frames carry ownership + kind metadata (consulted by the KSM and
     the virtualization backends for their security checks) and, for
-    page-table frames, real 512-entry arrays of 64-bit PTEs, so the
-    page-table walker operates on genuine in-memory structures. *)
+    page-table frames, real 512-entry runs of 64-bit PTEs, so the
+    page-table walker operates on genuine in-memory structures.
+
+    Representation: metadata lives in packed int arrays and all PTEs
+    in one flat [int64] Bigarray arena ([slot * 512 + index]); free
+    frames are tracked in a bitmap with a rotating next-fit hint and a
+    running count, making {!alloc} and {!free_frames} effectively
+    O(1). Allocation order is identical to the earlier per-frame
+    scans, so snapshot images remain byte-for-byte reproducible. *)
 
 type owner =
   | Free
@@ -29,23 +36,12 @@ val pp_kind : Format.formatter -> kind -> unit
 val show_kind : kind -> string
 val equal_kind : kind -> kind -> bool
 
-type frame = {
-  mutable owner : owner;
-  mutable kind : kind;
-  mutable table : int64 array option;
-  mutable refcount : int;
-  mutable shared_ro : bool;
-      (** CoW-shared read-only (warm-clone templates): the invariant
-          scanner flags any writable mapping of such a frame *)
-}
-
 type t
 
 exception Out_of_memory
 
 val create : frames:int -> t
 val total_frames : t -> int
-val frame : t -> Addr.pfn -> frame
 val owner : t -> Addr.pfn -> owner
 val kind : t -> Addr.pfn -> kind
 val is_free : t -> Addr.pfn -> bool
@@ -77,10 +73,14 @@ val is_shared_ro : t -> Addr.pfn -> bool
 
 (** {1 Table-frame accessors}
 
-    The 512-entry PTE array is allocated lazily the first time a frame
-    is used as a page-table (or EPT) page. *)
+    The frame's 512-entry slot in the shared PTE arena is acquired
+    lazily the first time the frame is used as a page-table (or EPT)
+    page; a slot-less frame reads as all zeros. *)
 
 val table_entries : t -> Addr.pfn -> int64 array
+(** Fresh snapshot copy of the frame's 512 entries (acquiring the
+    frame's arena slot if it has none). Mutating the returned array
+    does not write memory — use {!write_entry}. *)
 val read_entry : t -> pfn:Addr.pfn -> index:int -> int64
 val write_entry : t -> pfn:Addr.pfn -> index:int -> int64 -> unit
 val clear_table : t -> Addr.pfn -> unit

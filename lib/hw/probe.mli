@@ -60,15 +60,60 @@ type event =
 val pp_event : Format.formatter -> event -> unit
 val show_event : event -> string
 
+(** {1 Int-encoded event rings}
+
+    A flat preallocated ring of fixed-stride int-encoded event words:
+    recording through a ring sink is a handful of array stores with no
+    allocation, and the stream is decoded back into {!event} values
+    lazily ({!ring_events}) at lint time.  Overflow drops the oldest
+    record and counts it.  String payloads are interned in a per-ring
+    side table. *)
+
+type ring
+
+val ring_create : ?capacity:int -> unit -> ring
+(** Default capacity 65536 events. *)
+
+val ring_capacity : ring -> int
+val ring_length : ring -> int
+
+val ring_dropped : ring -> int
+(** Records lost to overflow. *)
+
+val ring_clear : ring -> unit
+
+val ring_record : ring -> event -> unit
+(** Encode one boxed event into the ring (generic path; also the
+    injection point for fault-injection tests). *)
+
+val ring_events : ring -> event list
+(** Decode the live records, oldest first. *)
+
+val ring_iter : ring -> (event -> unit) -> unit
+(** Decode and visit the live records, oldest first, without
+    materializing the list. *)
+
+(** {1 Per-domain sinks}
+
+    The installed sink is domain-local state: each domain of the
+    sharded engine records into its own ring, and a recorder attached
+    on one domain never observes another domain's events. *)
+
 val active : unit -> bool
 (** Cheap guard: emitters must test this before constructing an event,
-    so the disabled path costs one ref read and no allocation. *)
+    so the disabled path costs one domain-local read and no
+    allocation. *)
 
 val emit : event -> unit
-(** Deliver [ev] to the installed sink (no-op when none). *)
+(** Deliver [ev] to the calling domain's sink (no-op when none). *)
 
 val set_sink : (event -> unit) -> unit
-(** Install a sink (the trace recorder). Replaces any previous one. *)
+(** Install a callback sink (boxed events) on the calling domain.
+    Replaces any previous sink. *)
+
+val set_ring : ring -> unit
+(** Install a ring sink on the calling domain. Replaces any previous
+    sink. *)
 
 val clear_sink : unit -> unit
 
@@ -76,3 +121,13 @@ val suspended : (unit -> 'a) -> 'a
 (** [suspended f] runs [f] with no sink installed and restores the
     previous sink afterwards (even on exception). Used by the model
     checker so exploration does not flood an attached recorder. *)
+
+(** {1 Specialized hot emitters}
+
+    The engine's steady-state emit sites: with a ring sink these write
+    int words directly — no event boxing, no closure call; with no sink
+    they cost the [active] guard alone. *)
+
+val emit_tlb_fill : cpu:int -> pcid:int -> vpn:int -> level:int -> pfn:int -> unit
+val emit_io_doorbell : queue:string -> avail_idx:int -> in_flight:int -> unit
+val emit_io_completion : queue:string -> used_idx:int -> serviced:int -> unit

@@ -77,6 +77,8 @@ type result = {
   r_switch_forwarded : int;
   r_blk_writes : int;
   r_service_passes : int;
+  r_wall_ns : float;  (** simulated makespan the throughput is computed over *)
+  r_domains : int;  (** 0 = shared-machine sequential path *)
 }
 
 (* Exit-accounting events per backend: every guest/host privilege
@@ -124,7 +126,13 @@ let drain_wire kernel sid =
           done;
           !n)
 
-let run cfg =
+let default_seed = 0x2545F4914F6CDD1D
+
+(* One fleet on one machine: the original sequential engine, now
+   seedable so the sharded mode can give every lane its own
+   deterministic request stream.  Returns the derived result plus the
+   raw latencies and elapsed time the merge needs. *)
+let run_core ?(seed = default_seed) cfg =
   if cfg.containers < 1 then invalid_arg "Serve: need at least one container";
   if cfg.requests_per_container < 1 then invalid_arg "Serve: need at least one request";
   let env = if cfg.nested then Virt.Env.Nested else Virt.Env.Bare_metal in
@@ -149,7 +157,7 @@ let run cfg =
   let loop = Loop.create clock in
   let switch = Loop.switch loop in
   let interval = 1e9 /. cfg.rate_rps in
-  let rng = ref 0x2545F4914F6CDD1D in
+  let rng = ref seed in
   let rand n =
     (* xorshift; Serve stays deterministic across runs *)
     let x = !rng in
@@ -390,9 +398,133 @@ let run cfg =
       r_switch_forwarded = Switch.forwarded switch;
       r_blk_writes = Blkstore.writes (Loop.blkstore loop);
       r_service_passes = Loop.service_passes loop;
+      r_wall_ns = elapsed_ns;
+      r_domains = 0;
     }
   in
-  (result, List.rev !cki_containers)
+  (result, List.rev !cki_containers, lat_us, elapsed_ns)
+
+(* ------------------------------------------------------------------ *)
+(* Domain-sharded execution                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Whole containers are the sharding unit: lane [i] is a complete
+   single-container fleet (own machine, clock, event loop, switch) so
+   lanes share no mutable state and a lane's result is independent of
+   which domain ran it.  Lane [i] always gets the same derived rng
+   seed, lanes are merged in fixed lane order, and the reported
+   makespan is [max over domains of the sum of that domain's lane
+   elapsed times] under the fixed round-robin lane->domain assignment
+   — so the merged output is a pure function of [cfg] and [lanes],
+   identical for any [domains >= 1] (and [domains = 1] IS the
+   sequential lane-engine path, no spawns). *)
+let lane_seed i =
+  let s = (default_seed lxor (i * 0x9E3779B97F4A7C1)) land max_int in
+  if s = 0 then 1 else s
+
+let run_sharded ~domains cfg =
+  let lanes = cfg.containers in
+  let lane_cfg = { cfg with containers = 1 } in
+  let outs = Array.make lanes None in
+  let want_trace = Hw.Probe.active () in
+  let rings =
+    Array.init lanes (fun _ -> if want_trace then Some (Hw.Probe.ring_create ()) else None)
+  in
+  let run_lane i =
+    (match rings.(i) with Some r -> Hw.Probe.set_ring r | None -> ());
+    Fun.protect
+      ~finally:(fun () -> if rings.(i) <> None then Hw.Probe.clear_sink ())
+      (fun () -> outs.(i) <- Some (run_core ~seed:(lane_seed i) lane_cfg))
+  in
+  (* [suspended] parks the caller's sink while lanes run (an inline
+     lane on this domain installs its own ring) and restores it for
+     the replay below. *)
+  Hw.Probe.suspended (fun () ->
+      if domains = 1 then
+        for i = 0 to lanes - 1 do
+          run_lane i
+        done
+      else begin
+        let nworkers = min domains lanes in
+        let workers =
+          Array.init nworkers (fun d ->
+              Domain.spawn (fun () ->
+                  let i = ref d in
+                  while !i < lanes do
+                    run_lane !i;
+                    i := !i + domains
+                  done))
+        in
+        Array.iter Domain.join workers
+      end);
+  (* Replay the per-lane probe streams into the caller's sink in lane
+     order, so an attached recorder sees one deterministic merged
+     trace. *)
+  Array.iter (function Some r -> Hw.Probe.ring_iter r Hw.Probe.emit | None -> ()) rings;
+  let out i = match outs.(i) with Some o -> o | None -> failwith "Serve: lane did not run" in
+  let sum_i f =
+    let acc = ref 0 in
+    for i = 0 to lanes - 1 do
+      let r, _, _, _ = out i in
+      acc := !acc + f r
+    done;
+    !acc
+  in
+  (* Simulated parallel makespan under the fixed lane->domain map. *)
+  let makespan = ref 0.0 in
+  for d = 0 to min domains lanes - 1 do
+    let span = ref 0.0 in
+    let i = ref d in
+    while !i < lanes do
+      let _, _, _, elapsed = out !i in
+      span := !span +. elapsed;
+      i := !i + domains
+    done;
+    if !span > !makespan then makespan := !span
+  done;
+  let lat_us = List.concat (List.init lanes (fun i -> let _, _, l, _ = out i in l)) in
+  let containers = List.concat (List.init lanes (fun i -> let _, cs, _, _ = out i in cs)) in
+  let r0, _, _, _ = out 0 in
+  let total = sum_i (fun r -> r.r_requests) in
+  let doorbells = sum_i (fun r -> r.r_doorbells) in
+  let interrupts = sum_i (fun r -> r.r_interrupts) in
+  let exits = sum_i (fun r -> r.r_exits) in
+  let fl = float_of_int total in
+  let result =
+    {
+      r0 with
+      r_containers = lanes;
+      r_requests = total;
+      r_throughput_rps = fl /. (!makespan /. 1e9);
+      r_mean_us = Report.Stats.mean lat_us;
+      r_p50_us = Report.Stats.percentile lat_us ~p:50.0;
+      r_p95_us = Report.Stats.percentile lat_us ~p:95.0;
+      r_p99_us = Report.Stats.percentile lat_us ~p:99.0;
+      r_doorbells = doorbells;
+      r_suppressed_kicks = sum_i (fun r -> r.r_suppressed_kicks);
+      r_interrupts = interrupts;
+      r_suppressed_interrupts = sum_i (fun r -> r.r_suppressed_interrupts);
+      r_exits = exits;
+      r_doorbells_per_req = float_of_int doorbells /. fl;
+      r_interrupts_per_req = float_of_int interrupts /. fl;
+      r_exits_per_req = float_of_int exits /. fl;
+      r_tx_stalls = sum_i (fun r -> r.r_tx_stalls);
+      r_switch_forwarded = sum_i (fun r -> r.r_switch_forwarded);
+      r_blk_writes = sum_i (fun r -> r.r_blk_writes);
+      r_service_passes = sum_i (fun r -> r.r_service_passes);
+      r_wall_ns = !makespan;
+      r_domains = domains;
+    }
+  in
+  (result, containers)
+
+let run ?(domains = 0) cfg =
+  if domains < 0 then invalid_arg "Serve: negative domain count";
+  if domains = 0 then begin
+    let result, containers, _, _ = run_core cfg in
+    (result, containers)
+  end
+  else run_sharded ~domains cfg
 
 let pp_result fmt r =
   Format.fprintf fmt

@@ -40,10 +40,6 @@ let words_per_page = Hw.Addr.entries_per_table
 let bytes_per_page = words_per_page * 8
 let max_size = 256
 
-(* Head-descriptor bookkeeping the guest driver keeps privately (the
-   device-visible state is all in the ring pages). *)
-type head = { ndesc : int; len : int; device_writes : bool }
-
 type t = {
   name : string;
   size : int;
@@ -54,8 +50,18 @@ type t = {
   avail_page : Hw.Addr.pfn;
   used_page : Hw.Addr.pfn;
   bufs : Hw.Addr.pfn array;  (** payload page of descriptor i *)
-  mutable free : int list;  (** free descriptor ids *)
-  heads : (int, head) Hashtbl.t;  (** in-flight chains by head id *)
+  (* Free descriptors as a preallocated stack (pop order identical to
+     the cons-list it replaces), and in-flight head bookkeeping as
+     parallel arrays indexed by head id ([head_ndesc.(h) = -1] means
+     "not in flight") — the guest driver's private shadow; the
+     device-visible state is all in the ring pages.  Steady-state
+     post/service/reclaim touch only these flat arrays: no allocation.  *)
+  free_stack : int array;
+  mutable n_free : int;
+  head_ndesc : int array;
+  head_len : int array;
+  head_writes : Bytes.t;  (** 1 = device-writable (RX) chain *)
+  mutable n_heads : int;  (** in-flight chain count *)
   (* guest-side shadows *)
   mutable avail_idx : int;
   mutable kick_old : int;  (** avail idx at the previous kick decision *)
@@ -95,8 +101,12 @@ let create ?(size = 64) ?(window = 1) ~name (access : access) clock =
       avail_page = access.alloc_frame ();
       used_page = access.alloc_frame ();
       bufs = Array.init size (fun _ -> access.alloc_frame ());
-      free = List.init size (fun i -> i);
-      heads = Hashtbl.create 16;
+      free_stack = Array.init size (fun i -> size - 1 - i);
+      n_free = size;
+      head_ndesc = Array.make size (-1);
+      head_len = Array.make size 0;
+      head_writes = Bytes.make size '\000';
+      n_heads = 0;
       avail_idx = 0;
       kick_old = 0;
       last_used_seen = 0;
@@ -128,8 +138,8 @@ let size t = t.size
 let window t = t.window
 let set_window t w = if w < 0 then invalid_arg "Virtio.set_window" else t.window <- w
 let in_flight t = t.avail_idx - t.last_avail_seen
-let unreclaimed t = Hashtbl.length t.heads
-let free_descs t = List.length t.free
+let unreclaimed t = t.n_heads
+let free_descs t = t.n_free
 
 (* ---------------- payload bytes <-> page words ---------------- *)
 
@@ -180,34 +190,66 @@ let read_desc t id =
   let next = Int64.to_int (Int64.logand (Int64.shift_right_logical w 40) 0xFFFFL) in
   (len, flags, next)
 
-(* Walk a chain from [head], calling [f desc_id seg_len offset]; the
-   payload page of descriptor [id] is word [2*id] of the table (kept in
-   [t.bufs] as a shadow so the walk need not re-read it). *)
-let iter_chain t head f =
-  let rec go id off =
-    let len, flags, next = read_desc t id in
-    f id len off;
-    if flags land flag_next <> 0 then go next (off + len)
-  in
-  go head 0
+(* Chain walks are explicit loops over the descriptor words (the
+   payload page of descriptor [id] is word [2*id] of the table, kept in
+   [t.bufs] as a shadow so the walk need not re-read it): the hot
+   service/reclaim/fill paths allocate no closures.
 
-(* Link [ids] as one chain carrying [len] bytes (device-writable when
-   [write]); every segment but the last spans a whole page.  Returns
-   the head id. *)
-let build_chain t ~ids ~len ~write =
+   Copy the chain's payload out into [data] (up to [limit] bytes). *)
+let chain_copy_out t head data ~limit =
+  let id = ref head and off = ref 0 and more = ref true in
+  while !more do
+    let _, flags, next = read_desc t !id in
+    if !off < limit then off := !off + copy_from_page t t.bufs.(!id) data ~off:!off;
+    if flags land flag_next <> 0 then id := next else more := false
+  done
+
+(* Copy [data] into the chain's payload pages. *)
+let chain_copy_in t head data =
+  let limit = Bytes.length data in
+  let id = ref head and off = ref 0 and more = ref true in
+  while !more do
+    let _, flags, next = read_desc t !id in
+    if !off < limit then off := !off + copy_into_page t t.bufs.(!id) data ~off:!off;
+    if flags land flag_next <> 0 then id := next else more := false
+  done
+
+(* Total bytes carried by the chain. *)
+let chain_len t head =
+  let id = ref head and total = ref 0 and more = ref true in
+  while !more do
+    let len, flags, next = read_desc t !id in
+    total := !total + len;
+    if flags land flag_next <> 0 then id := next else more := false
+  done;
+  !total
+
+(* Return every descriptor of the chain to the free stack (push order
+   identical to the cons-list it replaces). *)
+let chain_free t head =
+  let id = ref head and more = ref true in
+  while !more do
+    let _, flags, next = read_desc t !id in
+    t.free_stack.(t.n_free) <- !id;
+    t.n_free <- t.n_free + 1;
+    if flags land flag_next <> 0 then id := next else more := false
+  done
+
+(* Pop [npages] free descriptors and link them as one chain carrying
+   [len] bytes (device-writable when [write]); every segment but the
+   last spans a whole page.  Returns the head id. *)
+let build_chain t ~npages ~len ~write =
   let flags_w = if write then flag_write else 0 in
-  let npages = List.length ids in
-  let rec link = function
-    | [] -> assert false
-    | [ last ] ->
-        write_desc t last ~len:(max 0 (len - ((npages - 1) * bytes_per_page))) ~flags:flags_w
-          ~next:0
-    | id :: (next :: _ as rest) ->
-        write_desc t id ~len:bytes_per_page ~flags:(flags_w lor flag_next) ~next;
-        link rest
-  in
-  link ids;
-  List.hd ids
+  let head = t.free_stack.(t.n_free - 1) in
+  let id = ref head in
+  for k = 1 to npages - 1 do
+    let next = t.free_stack.(t.n_free - 1 - k) in
+    write_desc t !id ~len:bytes_per_page ~flags:(flags_w lor flag_next) ~next;
+    id := next
+  done;
+  write_desc t !id ~len:(max 0 (len - ((npages - 1) * bytes_per_page))) ~flags:flags_w ~next:0;
+  t.n_free <- t.n_free - npages;
+  head
 
 (* ---------------- guest side ---------------- *)
 
@@ -220,19 +262,19 @@ let reclaim t =
     let e = rd t t.used_page (ring_word t t.last_used_seen) in
     let head = Int64.to_int (Int64.logand e 0xFFFFL) in
     let len = Int64.to_int (Int64.logand (Int64.shift_right_logical e 32) 0xFFFFFFFFL) in
-    (match Hashtbl.find_opt t.heads head with
-    | None -> ()  (* forged/duplicate used entry: nothing to free *)
-    | Some h ->
-        if h.device_writes && len > 0 then begin
-          let data = Bytes.create len in
-          let off = ref 0 in
-          iter_chain t head (fun id _ _ ->
-              if !off < len then off := !off + copy_from_page t t.bufs.(id) data ~off:!off);
-          Hw.Clock.charge t.clock "virtio_copy" (float_of_int len *. Hw.Cost.copy_byte);
-          out := data :: !out
-        end;
-        iter_chain t head (fun id _ _ -> t.free <- id :: t.free);
-        Hashtbl.remove t.heads head);
+    if head >= 0 && head < t.size && t.head_ndesc.(head) >= 0 then begin
+      (* known in-flight chain; anything else is a forged/duplicate
+         used entry: nothing to free *)
+      if Bytes.get t.head_writes head <> '\000' && len > 0 then begin
+        let data = Bytes.create len in
+        chain_copy_out t head data ~limit:len;
+        Hw.Clock.charge_id t.clock Hw.Clock.id_virtio_copy (float_of_int len *. Hw.Cost.copy_byte);
+        out := data :: !out
+      end;
+      chain_free t head;
+      t.head_ndesc.(head) <- -1;
+      t.n_heads <- t.n_heads - 1
+    end;
     t.last_used_seen <- t.last_used_seen + 1
   done;
   (* Re-arm interrupt suppression for the entries we just consumed. *)
@@ -240,37 +282,29 @@ let reclaim t =
     wr t t.avail_page (event_word t) (Int64.of_int (t.last_used_seen + t.window - 1));
   List.rev !out
 
-let take_free t n =
-  let rec go acc k free = if k = 0 then Some (List.rev acc, free) else
-    match free with [] -> None | id :: rest -> go (id :: acc) (k - 1) rest
-  in
-  go [] n t.free
-
 let post_chain t ~data ~capacity ~write =
   let len = if write then capacity else Bytes.length data in
   let npages = max 1 ((len + bytes_per_page - 1) / bytes_per_page) in
   if npages > t.size then invalid_arg "Virtio.post: payload larger than the whole ring";
   let attempt () =
-    match take_free t npages with
-    | None -> false
-    | Some (ids, rest) ->
-        t.free <- rest;
-        let head = build_chain t ~ids ~len ~write in
-        if not write then begin
-          (* Frontend copies the payload into the DMA buffers. *)
-          let off = ref 0 in
-          List.iter
-            (fun id ->
-              if !off < Bytes.length data then off := !off + copy_into_page t t.bufs.(id) data ~off:!off)
-            ids;
-          Hw.Clock.charge t.clock "virtio_copy" (float_of_int len *. Hw.Cost.copy_byte)
-        end;
-        Hashtbl.replace t.heads head { ndesc = npages; len; device_writes = write };
-        wr t t.avail_page (ring_word t t.avail_idx) (Int64.of_int head);
-        t.avail_idx <- t.avail_idx + 1;
-        wr t t.avail_page idx_word (Int64.of_int t.avail_idx);
-        Hw.Clock.charge t.clock "virtio_post" Hw.Cost.virtio_frontend_work;
-        true
+    if t.n_free < npages then false
+    else begin
+      let head = build_chain t ~npages ~len ~write in
+      if not write then begin
+        (* Frontend copies the payload into the DMA buffers. *)
+        chain_copy_in t head data;
+        Hw.Clock.charge_id t.clock Hw.Clock.id_virtio_copy (float_of_int len *. Hw.Cost.copy_byte)
+      end;
+      if t.head_ndesc.(head) < 0 then t.n_heads <- t.n_heads + 1;
+      t.head_ndesc.(head) <- npages;
+      t.head_len.(head) <- len;
+      Bytes.set t.head_writes head (if write then '\001' else '\000');
+      wr t t.avail_page (ring_word t t.avail_idx) (Int64.of_int head);
+      t.avail_idx <- t.avail_idx + 1;
+      wr t t.avail_page idx_word (Int64.of_int t.avail_idx);
+      Hw.Clock.charge_id t.clock Hw.Clock.id_virtio_post Hw.Cost.virtio_frontend_work;
+      true
+    end
   in
   if attempt () then `Posted
   else begin
@@ -290,7 +324,7 @@ let kick t ~doorbell =
     if t.avail_idx = t.kick_old then false  (* nothing new was posted *)
     else if t.window = 0 then true
     else begin
-      Hw.Clock.charge t.clock "virtio_event_idx" Hw.Cost.event_idx_check;
+      Hw.Clock.charge_id t.clock Hw.Clock.id_virtio_event_idx Hw.Cost.event_idx_check;
       let ev = Int64.to_int (rd t t.used_page (event_word t)) in
       ev >= t.kick_old && ev < t.avail_idx
     end
@@ -299,10 +333,8 @@ let kick t ~doorbell =
   t.kick_old <- t.avail_idx;
   if rang then begin
     t.kicks <- t.kicks + 1;
-    Hw.Clock.charge t.clock "virtio_doorbell" Hw.Cost.doorbell_write;
-    if Hw.Probe.active () then
-      Hw.Probe.emit
-        (Hw.Probe.Io_doorbell { queue = t.name; avail_idx = t.avail_idx; in_flight = in_flight t });
+    Hw.Clock.charge_id t.clock Hw.Clock.id_virtio_doorbell Hw.Cost.doorbell_write;
+    Hw.Probe.emit_io_doorbell ~queue:t.name ~avail_idx:t.avail_idx ~in_flight:(in_flight t);
     doorbell ()
   end
   else if had_new then t.suppressed_kicks <- t.suppressed_kicks + 1;
@@ -329,17 +361,15 @@ let service t ~handle =
   let avail = Int64.to_int (rd t t.avail_page idx_word) in
   let n = avail - t.last_avail_seen in
   if n > 0 then begin
-    Hw.Clock.charge t.clock "virtio_service" Hw.Cost.virtio_backend_service;
+    Hw.Clock.charge_id t.clock Hw.Clock.id_virtio_service Hw.Cost.virtio_backend_service;
     while t.last_avail_seen < avail do
       let head = Int64.to_int (rd t t.avail_page (ring_word t t.last_avail_seen)) in
-      let total = ref 0 in
-      iter_chain t head (fun _ len _ -> total := !total + len);
-      let data = Bytes.create !total in
-      let off = ref 0 in
-      iter_chain t head (fun id _ _ ->
-          if !off < !total then off := !off + copy_from_page t t.bufs.(id) data ~off:!off);
-      Hw.Clock.charge t.clock "virtio_copy" (float_of_int !total *. Hw.Cost.copy_byte);
-      publish_used t ~head ~len:!total;
+      let total = chain_len t head in
+      let data = Bytes.create total in
+      chain_copy_out t head data ~limit:total;
+      Hw.Clock.charge_id t.clock Hw.Clock.id_virtio_copy
+        (float_of_int total *. Hw.Cost.copy_byte);
+      publish_used t ~head ~len:total;
       t.last_avail_seen <- t.last_avail_seen + 1;
       handle data
     done;
@@ -355,10 +385,8 @@ let fill t ~data =
   else begin
     let head = Int64.to_int (rd t t.avail_page (ring_word t t.last_avail_seen)) in
     let len = Bytes.length data in
-    let off = ref 0 in
-    iter_chain t head (fun id _ _ ->
-        if !off < len then off := !off + copy_into_page t t.bufs.(id) data ~off:!off);
-    Hw.Clock.charge t.clock "virtio_copy" (float_of_int len *. Hw.Cost.copy_byte);
+    chain_copy_in t head data;
+    Hw.Clock.charge_id t.clock Hw.Clock.id_virtio_copy (float_of_int len *. Hw.Cost.copy_byte);
     publish_used t ~head ~len;
     t.last_avail_seen <- t.last_avail_seen + 1;
     rearm_avail_event t;
@@ -374,7 +402,7 @@ let complete ?(force = false) t ~inject =
     let should =
       if force || t.window = 0 then true
       else begin
-        Hw.Clock.charge t.clock "virtio_event_idx" Hw.Cost.event_idx_check;
+        Hw.Clock.charge_id t.clock Hw.Clock.id_virtio_event_idx Hw.Cost.event_idx_check;
         let ev = Int64.to_int (rd t t.avail_page (event_word t)) in
         ev >= t.complete_old && ev < t.used_idx
       end
@@ -382,9 +410,7 @@ let complete ?(force = false) t ~inject =
     t.complete_old <- t.used_idx;
     if should then begin
       t.interrupts <- t.interrupts + 1;
-      if Hw.Probe.active () then
-        Hw.Probe.emit
-          (Hw.Probe.Io_completion { queue = t.name; used_idx = t.used_idx; serviced = t.unsignaled });
+      Hw.Probe.emit_io_completion ~queue:t.name ~used_idx:t.used_idx ~serviced:t.unsignaled;
       t.unsignaled <- 0;
       inject ()
     end

@@ -1,7 +1,10 @@
-(** Minimal JSON emitter for benchmark artifacts ([BENCH_*.json]).
+(** Minimal JSON emitter + parser for benchmark artifacts
+    ([BENCH_*.json]).
 
-    Emission only — nothing in the repo parses JSON back, so there is
-    no decoder and no external dependency. *)
+    The parser exists so CI can prove the checked-in artifacts are
+    well-formed and carry the expected fields; it accepts exactly the
+    JSON this module emits (standard JSON minus NaN/Infinity, which the
+    emitter never produces) and needs no external dependency. *)
 
 type value =
   | Null
@@ -17,3 +20,17 @@ val to_string : value -> string
     floats emit [null]. *)
 
 val write_file : string -> value -> unit
+
+val parse : string -> (value, string) result
+(** Recursive-descent parse of a complete JSON document. Rejects
+    trailing garbage, NaN/Infinity literals, and malformed escapes;
+    the error string carries a byte offset. [parse (to_string v)]
+    round-trips every value the emitter can produce (non-finite floats
+    come back as [Null], which is what was emitted). *)
+
+val parse_file : string -> (value, string) result
+(** [parse] over the whole contents of a file. *)
+
+val member : string -> value -> value option
+(** [member k (Obj fields)] is the first binding of [k]; [None] for
+    non-objects or missing keys. *)

@@ -1,0 +1,395 @@
+(* The raw-speed engine overhaul: representation changes that must be
+   observationally invisible.
+
+   The anchor test is the golden snapshot fixture: an image captured
+   with the pre-overhaul boxed-record [Phys_mem] (frame metadata in a
+   record array, PTEs in per-frame [int64 array]s) checked in at
+   test/fixtures/golden_v2.ckisnap.  A fresh capture with today's
+   packed-array + Bigarray-arena representation must be byte-for-byte
+   identical, proving the swap changed raw speed only.  Around it:
+   allocator free-count bookkeeping, allocation-order preservation,
+   arena slot recycling, and the translation fast path's
+   subset-of-the-TLB invalidation discipline. *)
+
+open Alcotest
+
+let golden_path = "fixtures/golden_v2.ckisnap"
+
+(* Same workload the fixture generator ran (kept in sync by the bytes
+   comparison itself: any drift shows up as a mismatch). *)
+let init_workload (c : Cki.Container.t) =
+  let b = Cki.Container.backend c in
+  let task = Virt.Backend.spawn b in
+  (match
+     Virt.Backend.syscall_exn b task
+       (Kernel_model.Syscall.Mmap { pages = 256; prot = Kernel_model.Vma.prot_rw })
+   with
+  | Kernel_model.Syscall.Rint base ->
+      ignore
+        (Kernel_model.Mm.touch_range task.Kernel_model.Task.mm ~start:base ~pages:256 ~write:true)
+  | _ -> fail "mmap");
+  match
+    Virt.Backend.syscall_exn b task (Kernel_model.Syscall.Open { path = "/app.conf"; create = true })
+  with
+  | Kernel_model.Syscall.Rint fd ->
+      ignore
+        (Virt.Backend.syscall_exn b task
+           (Kernel_model.Syscall.Write { fd; data = Bytes.of_string "threads=4\n" }))
+  | _ -> fail "open"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let capture_exn c =
+  match Snapshot.Capture.capture c with
+  | Ok image -> image
+  | Error e -> fail ("capture: " ^ Snapshot.Capture.show_error e)
+
+(* A capture under the packed representation must reproduce the
+   fixture captured under the boxed representation, byte for byte. *)
+let test_golden_capture_identical () =
+  let c = Cki.Container.create_standalone ~mem_mib:256 () in
+  init_workload c;
+  let image = capture_exn c in
+  let fresh = Snapshot.Image.encode image in
+  let golden = read_file golden_path in
+  check int "image length" (String.length golden) (String.length fresh);
+  check bool "capture is byte-identical to the pre-overhaul fixture" true (golden = fresh)
+
+(* The fixture itself must decode, restore into a fresh host, and
+   re-capture to the identical bytes (capture -> restore -> capture
+   determinism across the representation swap). *)
+let test_golden_restore_recapture () =
+  let golden = read_file golden_path in
+  let image =
+    match Snapshot.Image.decode golden with
+    | Ok i -> i
+    | Error e -> fail ("decode: " ^ Snapshot.Image.show_decode_error e)
+  in
+  let host = Cki.Host.create (Hw.Machine.create ~mem_mib:256 ()) in
+  let c =
+    match Snapshot.Restore.restore host image with
+    | Ok c -> c
+    | Error e -> fail ("restore: " ^ Snapshot.Restore.show_error e)
+  in
+  let again = Snapshot.Image.encode (capture_exn c) in
+  check bool "restore -> recapture is byte-identical" true (golden = again)
+
+(* ------------------------------------------------------------------ *)
+(* Allocator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* free_frames is a maintained counter now; it must agree with the
+   O(n) ownership scan through arbitrary alloc/free churn. *)
+let test_free_count_agrees_with_scan () =
+  let m = Hw.Phys_mem.create ~frames:500 in
+  let rng = ref 123456789 in
+  let rand n =
+    rng := (!rng * 1103515245) + 12345;
+    (!rng lsr 7) mod n
+  in
+  let live = ref [] in
+  for _ = 1 to 2000 do
+    if rand 3 > 0 || !live = [] then begin
+      match Hw.Phys_mem.alloc m ~owner:Hw.Phys_mem.Host ~kind:Hw.Phys_mem.Data with
+      | pfn -> live := pfn :: !live
+      | exception Hw.Phys_mem.Out_of_memory -> ()
+    end
+    else begin
+      match !live with
+      | pfn :: rest ->
+          Hw.Phys_mem.free m pfn;
+          live := rest
+      | [] -> ()
+    end;
+    let scanned = Hw.Phys_mem.count_owned m (fun o -> o = Hw.Phys_mem.Free) in
+    if Hw.Phys_mem.free_frames m <> scanned then
+      failf "free_frames drifted: counter=%d scan=%d" (Hw.Phys_mem.free_frames m) scanned
+  done
+
+(* The bitmap allocator must preserve the old next-fit order: alloc
+   rotates a hint; free does not move it; contiguous runs are first-fit
+   from frame 0. *)
+let test_allocation_order_preserved () =
+  let m = Hw.Phys_mem.create ~frames:200 in
+  let a () = Hw.Phys_mem.alloc m ~owner:Hw.Phys_mem.Host ~kind:Hw.Phys_mem.Data in
+  check int "first" 0 (a ());
+  check int "second" 1 (a ());
+  check int "third" 2 (a ());
+  Hw.Phys_mem.free m 0;
+  (* next-fit: the hint is past 0, so the hole is NOT reused yet *)
+  check int "hole skipped" 3 (a ());
+  (* contiguous is first-fit from 0 and must skip the single hole *)
+  let base =
+    Hw.Phys_mem.alloc_contiguous m ~owner:Hw.Phys_mem.Host ~kind:Hw.Phys_mem.Data ~count:4
+  in
+  check int "contiguous first-fit" 4 base;
+  (* exhaust, then wrap back to the hole at 0 *)
+  for _ = 8 to 199 do
+    ignore (a ())
+  done;
+  check int "wraps to the hole" 0 (a ());
+  check_raises "oom" Hw.Phys_mem.Out_of_memory (fun () -> ignore (a ()))
+
+(* Crossing word boundaries (62 frames/word): a contiguous run that
+   spans several bitmap words, with scattered holes, lands on the first
+   window exactly like the per-frame scan did. *)
+let test_contiguous_across_words () =
+  let m = Hw.Phys_mem.create ~frames:1000 in
+  let base =
+    Hw.Phys_mem.alloc_contiguous m ~owner:Hw.Phys_mem.Host ~kind:Hw.Phys_mem.Data ~count:1000
+  in
+  check int "full span" 0 base;
+  (* punch a 130-frame hole crossing word boundaries at 61..190 *)
+  Hw.Phys_mem.free_range m ~base:61 ~count:130;
+  check_raises "131 does not fit" Hw.Phys_mem.Out_of_memory (fun () ->
+      ignore
+        (Hw.Phys_mem.alloc_contiguous m ~owner:Hw.Phys_mem.Host ~kind:Hw.Phys_mem.Data ~count:131));
+  let b =
+    Hw.Phys_mem.alloc_contiguous m ~owner:Hw.Phys_mem.Host ~kind:Hw.Phys_mem.Data ~count:130
+  in
+  check int "refills the exact hole" 61 b
+
+(* A freed table frame's arena slot is recycled: churn through many
+   table-frame lifetimes and confirm reads stay isolated (a recycled
+   slot must come back zeroed, never leaking the previous tenant's
+   PTEs). *)
+let test_arena_slot_recycling () =
+  let m = Hw.Phys_mem.create ~frames:64 in
+  for round = 1 to 50 do
+    let f = Hw.Phys_mem.alloc m ~owner:Hw.Phys_mem.Host ~kind:(Hw.Phys_mem.Page_table 1) in
+    check bool "fresh table reads zero" true (Hw.Phys_mem.read_entry m ~pfn:f ~index:7 = 0L);
+    Hw.Phys_mem.write_entry m ~pfn:f ~index:7 (Int64.of_int round);
+    check bool "read back" true (Hw.Phys_mem.read_entry m ~pfn:f ~index:7 = Int64.of_int round);
+    Hw.Phys_mem.free m f
+  done
+
+(* table_entries returns a snapshot: mutating it must not write
+   memory. *)
+let test_table_entries_snapshot () =
+  let m = Hw.Phys_mem.create ~frames:8 in
+  let f = Hw.Phys_mem.alloc m ~owner:Hw.Phys_mem.Host ~kind:(Hw.Phys_mem.Page_table 1) in
+  Hw.Phys_mem.write_entry m ~pfn:f ~index:3 99L;
+  let snap = Hw.Phys_mem.table_entries m f in
+  check bool "snapshot sees the entry" true (snap.(3) = 99L);
+  snap.(3) <- 0L;
+  check bool "mutating the snapshot does not write memory" true
+    (Hw.Phys_mem.read_entry m ~pfn:f ~index:3 = 99L)
+
+(* ------------------------------------------------------------------ *)
+(* Translation fast path                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The memoized fast path must be observationally invisible: run the
+   same access/unmap/invlpg sequence with the cache on and off and
+   compare results, faults, TLB statistics and the simulated clock. *)
+let test_tcache_invisible () =
+  let run ~tcache =
+    let m = Hw.Phys_mem.create ~frames:4096 in
+    let pt = Hw.Page_table.create m ~owner:Hw.Phys_mem.Host in
+    let clock = Hw.Clock.create () in
+    let cpu = Hw.Cpu.create clock in
+    Hw.Cpu.set_tcache cpu tcache;
+    let log = Buffer.create 256 in
+    let touch ?(write = false) va =
+      let kind = if write then Hw.Pks.Write else Hw.Pks.Read in
+      match Hw.Cpu.access cpu pt ~va ~access_kind:kind () with
+      | Ok pa -> Buffer.add_string log (Printf.sprintf "ok:%x;" pa)
+      | Error f -> Buffer.add_string log ("fault:" ^ Hw.Cpu.show_fault f ^ ";")
+    in
+    for i = 0 to 31 do
+      let data = Hw.Phys_mem.alloc m ~owner:Hw.Phys_mem.Host ~kind:Hw.Phys_mem.Data in
+      ignore
+        (Hw.Page_table.map pt ~va:(0x400000 + (i * 4096)) ~pfn:data
+           ~flags:{ Hw.Pte.default_flags with Hw.Pte.writable = true }
+           ())
+    done;
+    (* repeated touches: hot path *)
+    for _ = 1 to 3 do
+      for i = 0 to 31 do
+        touch ~write:(i mod 2 = 0) (0x400000 + (i * 4096))
+      done
+    done;
+    (* unmap half, invlpg each, then re-touch: must fault identically *)
+    for i = 0 to 15 do
+      let va = 0x400000 + (i * 4096) in
+      ignore (Hw.Page_table.unmap pt va);
+      Hw.Cpu.exec_priv_exn cpu (Hw.Priv.Invlpg va)
+    done;
+    for i = 0 to 31 do
+      touch (0x400000 + (i * 4096))
+    done;
+    (* flush everything, then re-touch: all walks again *)
+    Hw.Cpu.exec_priv_exn cpu Hw.Priv.Invpcid;
+    for i = 16 to 31 do
+      touch (0x400000 + (i * 4096))
+    done;
+    ( Buffer.contents log,
+      Hw.Tlb.hits cpu.Hw.Cpu.tlb,
+      Hw.Tlb.misses cpu.Hw.Cpu.tlb,
+      Hw.Clock.now clock )
+  in
+  let log_on, hits_on, misses_on, now_on = run ~tcache:true in
+  let log_off, hits_off, misses_off, now_off = run ~tcache:false in
+  check string "access outcomes identical" log_off log_on;
+  check int "tlb hits identical" hits_off hits_on;
+  check int "tlb misses identical" misses_off misses_on;
+  check (float 1e-9) "simulated clock identical" now_off now_on
+
+(* ------------------------------------------------------------------ *)
+(* Domain sharding                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The sharded serve engine must be a pure function of the config and
+   lane count: running the same 4-lane fleet on 1, 2 and 4 domains must
+   produce the identical merged result (every counter and every derived
+   float), identical ordered per-lane clock merges, and a clean
+   whole-machine invariant check. *)
+let serve_cfg =
+  {
+    Ioplane.Serve.default_config with
+    Ioplane.Serve.backend = "cki";
+    containers = 4;
+    requests_per_container = 20;
+  }
+
+let merged_clock containers =
+  let into = Hw.Clock.create () in
+  List.iter
+    (fun c -> Hw.Clock.add_into ~into (Cki.Container.backend c).Virt.Backend.clock)
+    containers;
+  into
+
+let test_sharding_deterministic () =
+  let run domains = Ioplane.Serve.run ~domains serve_cfg in
+  let r1, c1 = run 1 in
+  let r2, c2 = run 2 in
+  let r4, c4 = run 4 in
+  check int "domains recorded" 1 r1.Ioplane.Serve.r_domains;
+  (* Everything except the parallel-makespan accounting (wall time,
+     throughput, domain count) must be bit-identical. *)
+  let norm r =
+    { r with Ioplane.Serve.r_domains = 0; r_wall_ns = 0.0; r_throughput_rps = 0.0 }
+  in
+  check bool "1 vs 2 domains: identical merged result" true (norm r1 = norm r2);
+  check bool "1 vs 4 domains: identical merged result" true (norm r1 = norm r4);
+  let k1 = merged_clock c1 and k2 = merged_clock c2 and k4 = merged_clock c4 in
+  check (float 1e-9) "merged clock now (2 domains)" (Hw.Clock.now k1) (Hw.Clock.now k2);
+  check (float 1e-9) "merged clock now (4 domains)" (Hw.Clock.now k1) (Hw.Clock.now k4);
+  check bool "merged clock events (2 domains)" true (Hw.Clock.events k1 = Hw.Clock.events k2);
+  check bool "merged clock events (4 domains)" true (Hw.Clock.events k1 = Hw.Clock.events k4);
+  check int "exit counts equal" r1.Ioplane.Serve.r_exits r4.Ioplane.Serve.r_exits;
+  List.iter
+    (fun cs ->
+      check int "whole-machine invariant check clean" 0
+        (List.length (Analysis.check_machine ~containers:cs)))
+    [ c1; c2; c4 ]
+
+(* Sharded throughput accounting: with lanes of equal work, 4 domains
+   must report a strictly larger throughput than 1 domain over the same
+   merged work (the makespan is the max domain span, not the sum). *)
+let test_sharding_scales () =
+  let r1, _ = Ioplane.Serve.run ~domains:1 serve_cfg in
+  let r4, _ = Ioplane.Serve.run ~domains:4 serve_cfg in
+  check bool "wall time shrinks" true
+    (r4.Ioplane.Serve.r_wall_ns < r1.Ioplane.Serve.r_wall_ns);
+  check bool "throughput scales" true
+    (r4.Ioplane.Serve.r_throughput_rps > 2.0 *. r1.Ioplane.Serve.r_throughput_rps)
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip: the parser added for artifact validation must
+   accept exactly what the emitter produces.                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec json_equal (a : Report.Json.value) (b : Report.Json.value) =
+  match (a, b) with
+  | Report.Json.Null, Report.Json.Null -> true
+  | Report.Json.Bool x, Report.Json.Bool y -> x = y
+  | Report.Json.Int x, Report.Json.Int y -> x = y
+  | Report.Json.Float x, Report.Json.Float y -> Float.equal x y
+  | Report.Json.String x, Report.Json.String y -> String.equal x y
+  | Report.Json.List xs, Report.Json.List ys ->
+      List.length xs = List.length ys && List.for_all2 json_equal xs ys
+  | Report.Json.Obj xs, Report.Json.Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all2 (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_equal v1 v2) xs ys
+  | _ -> false
+
+let test_json_roundtrip () =
+  let open Report.Json in
+  let v =
+    Obj
+      [
+        ("bench", String "engine");
+        ("ratio", Float 11.5);
+        ("events", Int 123456789);
+        ("ok", Bool true);
+        ("missing", Null);
+        ("empty_list", List []);
+        ("empty_obj", Obj []);
+        ( "rows",
+          List
+            [
+              Obj [ ("name", String "tlb \"hit\"\n\ttab"); ("us", Float 0.25) ];
+              Obj [ ("name", String "walk"); ("us", Float 3.0) ];
+              Int (-42);
+            ] );
+      ]
+  in
+  (match parse (to_string v) with
+  | Ok v' -> check bool "round-trip equal" true (json_equal v v')
+  | Error e -> fail ("parse failed: " ^ e));
+  (* every checked-in artifact shape the emitter produces parses *)
+  (match parse "  { \"a\" : [ 1 , 2.5 , \"x\\u0041\" ] }  " with
+  | Ok (Obj [ ("a", List [ Int 1; Float 2.5; String "xA" ]) ]) -> ()
+  | Ok _ -> fail "unexpected parse shape"
+  | Error e -> fail ("parse failed: " ^ e));
+  check bool "member finds field" true
+    (match member "ratio" v with Some (Float f) -> Float.equal f 11.5 | _ -> false);
+  check bool "member on non-object" true (member "x" (Int 3) = None)
+
+let test_json_rejects_malformed () =
+  let open Report.Json in
+  let bad s = match parse s with Error _ -> true | Ok _ -> false in
+  check bool "empty input" true (bad "");
+  check bool "trailing garbage" true (bad "{} x");
+  check bool "unterminated string" true (bad "\"abc");
+  check bool "unterminated object" true (bad "{\"a\": 1");
+  check bool "missing colon" true (bad "{\"a\" 1}");
+  check bool "NaN literal" true (bad "NaN");
+  check bool "bare word" true (bad "nope");
+  check bool "bad escape" true (bad "\"\\q\"");
+  check bool "lone minus" true (bad "-")
+
+let suite =
+  [
+    ( "engine-golden",
+      [
+        test_case "capture matches pre-overhaul fixture" `Quick test_golden_capture_identical;
+        test_case "fixture restores and recaptures byte-identical" `Quick
+          test_golden_restore_recapture;
+      ] );
+    ( "engine-allocator",
+      [
+        test_case "free count agrees with ownership scan" `Quick test_free_count_agrees_with_scan;
+        test_case "allocation order preserved" `Quick test_allocation_order_preserved;
+        test_case "contiguous runs across bitmap words" `Quick test_contiguous_across_words;
+        test_case "arena slots are recycled zeroed" `Quick test_arena_slot_recycling;
+        test_case "table_entries is a snapshot" `Quick test_table_entries_snapshot;
+      ] );
+    ( "engine-tcache",
+      [ test_case "fast path observationally invisible" `Quick test_tcache_invisible ] );
+    ( "engine-json",
+      [
+        test_case "emit/parse round-trip" `Quick test_json_roundtrip;
+        test_case "malformed input rejected" `Quick test_json_rejects_malformed;
+      ] );
+    ( "engine-sharding",
+      [
+        test_case "domains 1/2/4 merge identically" `Slow test_sharding_deterministic;
+        test_case "makespan accounting scales" `Slow test_sharding_scales;
+      ] );
+  ]

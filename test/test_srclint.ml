@@ -364,7 +364,12 @@ let test_baseline_malformed () =
 (* Golden: the real repo                                               *)
 (* ------------------------------------------------------------------ *)
 
-let core_dirs = [ "lib/hw/"; "lib/kernel/"; "lib/virt/"; "lib/core/" ]
+(* Everything the domain-sharded serve engine executes inside a worker
+   domain must be domain-safety-clean: the hardware/kernel/virt/core
+   stack plus the ioplane harness itself and the analysis recorder its
+   probe streams land in. *)
+let core_dirs =
+  [ "lib/hw/"; "lib/kernel/"; "lib/virt/"; "lib/core/"; "lib/ioplane/"; "lib/analysis/" ]
 
 let in_core (file : string) =
   List.exists
