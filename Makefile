@@ -19,6 +19,7 @@ check: test examples lint-src
 	dune exec bin/cki_demo.exe -- kv --check --clients 8
 	dune exec bin/cki_demo.exe -- serve --check --containers 2 --requests 50
 	dune exec bin/cki_demo.exe -- clone --check
+	dune exec bin/cki_demo.exe -- fleet --check --tenants 2 --rate 45000 -r 2000
 	dune exec bin/cki_demo.exe -- model-check --depth 8
 
 # Mutation testing: every seeded enforcement mutant must be killed by
@@ -35,7 +36,7 @@ lint-src: build
 # Regenerate every checked-in benchmark artifact (BENCH_*.json) in the
 # repo root.  Each bench writes its file into the current directory.
 bench-json: build
-	dune exec bench/main.exe -- --json snapshot modelcheck ioplane srclint engine micro
+	dune exec bench/main.exe -- --json snapshot modelcheck ioplane fleet srclint engine micro
 	$(MAKE) validate-bench
 
 # Parse every checked-in BENCH_*.json with the in-repo JSON parser
@@ -66,6 +67,7 @@ examples: build
 	dune exec examples/sqlite_tmpfs.exe
 	dune exec examples/kv_serving.exe
 	dune exec examples/traffic_serving.exe
+	dune exec examples/fleet_autoscale.exe
 
 clean:
 	dune clean

@@ -1,0 +1,419 @@
+(* Fleet benchmark: cluster-scale serving over warm clones.
+
+   Three experiments:
+
+   - serving: an 8-tenant fleet under open-loop load (>= 1M requests
+     total) — six steady tenants within their CPU budget, one surge
+     tenant whose offered load exceeds its replicas' aggregate quota
+     (the windowed p99 breaches and the controller scales out with
+     verified warm clones), and one over-subscribed tenant behind
+     admission control (the only tenant allowed to shed);
+   - scale-out latency: time-to-ready replica via pool hit vs pool
+     miss (after template eviction) vs cold boot, plus the low-water
+     background refill that turns the next miss back into a hit;
+   - churn: create/destroy cycles with mixed segment sizes and a
+     sliding window of long-lived containers.  First-fit delegation
+     fails while a third of memory is still free (no contiguous run
+     left); scatter delegation completes >= 500 cycles on the same
+     pattern, and rescues the very host first-fit wedged.
+
+   ISSUE acceptance: pool-hit spawn >= 100x faster than cold boot;
+   shed rate > 0 only for the over-subscribed tenant; scale-out on an
+   induced p99 breach; >= 500-cycle churn where first-fit demonstrably
+   fails.
+
+   --json writes BENCH_fleet.json. *)
+
+let section title = Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+let cfg_of frames = { Cki.Config.default with Cki.Config.segment_frames = frames; vcpus = 1 }
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Serving                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let tenant_json (tr : Fleet.Controller.tenant_result) =
+  let open Fleet.Controller in
+  let hit_spawns, miss_spawns = List.partition (fun s -> s.s_pool_hit) tr.tr_spawns in
+  Report.Json.Obj
+    [
+      ("name", Report.Json.String tr.tr_name);
+      ("offered", Report.Json.Int tr.tr_offered);
+      ("admitted", Report.Json.Int tr.tr_admitted);
+      ("shed", Report.Json.Int tr.tr_shed);
+      ("shed_rate", Report.Json.Int tr.tr_shed_rate);
+      ("shed_inflight", Report.Json.Int tr.tr_shed_inflight);
+      ("completed", Report.Json.Int tr.tr_completed);
+      ("mean_us", Report.Json.Float tr.tr_mean_us);
+      ("p50_us", Report.Json.Float tr.tr_p50_us);
+      ("p95_us", Report.Json.Float tr.tr_p95_us);
+      ("p99_us", Report.Json.Float tr.tr_p99_us);
+      ("windows", Report.Json.Int tr.tr_windows);
+      ("breaches", Report.Json.Int tr.tr_breaches);
+      ("scale_outs", Report.Json.Int tr.tr_scale_outs);
+      ("scale_ins", Report.Json.Int tr.tr_scale_ins);
+      ("verify_failures", Report.Json.Int tr.tr_verify_failures);
+      ("peak_replicas", Report.Json.Int tr.tr_peak_replicas);
+      ("final_replicas", Report.Json.Int tr.tr_final_replicas);
+      ("throttle_events", Report.Json.Int tr.tr_throttle_events);
+      ("pool_hits", Report.Json.Int tr.tr_pool.Snapshot.Pool.hits);
+      ("pool_misses", Report.Json.Int tr.tr_pool.Snapshot.Pool.misses);
+      ("pool_refills", Report.Json.Int tr.tr_pool.Snapshot.Pool.refills);
+      ("spawn_pool_hit_ns", Report.Json.Float (mean (List.map (fun s -> s.s_ns) hit_spawns)));
+      ("spawn_pool_miss_ns", Report.Json.Float (mean (List.map (fun s -> s.s_ns) miss_spawns)));
+      ("elapsed_ns", Report.Json.Float tr.tr_elapsed_ns);
+    ]
+
+let run_serving () =
+  section "Fleet: 8 tenants, >= 1M open-loop requests, SLO-driven autoscaling";
+  let open Fleet.Controller in
+  let bulk i =
+    {
+      default_tenant with
+      name = Printf.sprintf "bulk%d" i;
+      rate_rps = 30_000.0;
+      requests = 160_000;
+    }
+  in
+  (* The surge tenant's offered load exceeds one replica's CPU budget
+     (10% of a CPU at ~2.5 us/request => ~40k rps capacity), so its
+     windowed p99 breaches until scale-out adds budget. *)
+  let surge = { default_tenant with name = "surge"; rate_rps = 60_000.0; requests = 30_000 } in
+  let greedy =
+    {
+      default_tenant with
+      name = "greedy";
+      rate_rps = 50_000.0;
+      requests = 40_000;
+      admission_rps = 15_000.0;
+      max_inflight = 64;
+    }
+  in
+  let autoscaler =
+    {
+      Fleet.Autoscaler.default_config with
+      Fleet.Autoscaler.slo_p99_us = 400.0;
+      window = 200;
+      max_replicas = 8;
+      cooldown_ns = 3e6;
+      idle_windows = 4;
+    }
+  in
+  let cfg =
+    {
+      default_config with
+      tenants = List.init 6 bulk @ [ surge; greedy ];
+      autoscaler;
+    }
+  in
+  let r = run cfg in
+  List.iter (fun tr -> Format.printf "  %a@." pp_tenant_result tr) r.tenants;
+  let find name = List.find (fun tr -> tr.tr_name = name) r.tenants in
+  let offered = List.fold_left (fun a tr -> a + tr.tr_offered) 0 r.tenants in
+  let completed = List.fold_left (fun a tr -> a + tr.tr_completed) 0 r.tenants in
+  let shed = List.fold_left (fun a tr -> a + tr.tr_shed) 0 r.tenants in
+  let verify_failures = List.fold_left (fun a tr -> a + tr.tr_verify_failures) 0 r.tenants in
+  let sg = find "surge" and gr = find "greedy" in
+  let shed_only_greedy =
+    List.for_all (fun tr -> tr.tr_shed = 0 || tr.tr_name = "greedy") r.tenants && gr.tr_shed > 0
+  in
+  Printf.printf "\n  offered=%d completed=%d shed=%d makespan=%.1f ms (simulated)\n" offered
+    completed shed (r.makespan_ns /. 1e6);
+  Printf.printf "  acceptance: >=1M requests %s, scale-out on p99 breach %s, shed only greedy %s,\n"
+    (if offered >= 1_000_000 then "OK" else "FAIL")
+    (if sg.tr_breaches > 0 && sg.tr_scale_outs > 0 && sg.tr_peak_replicas > 1 then "OK" else "FAIL")
+    (if shed_only_greedy then "OK" else "FAIL");
+  Printf.printf "              every clone verified %s (%d verify failures)\n"
+    (if verify_failures = 0 then "OK" else "FAIL")
+    verify_failures;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Scale-out latency                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type scaleout = {
+  so_cold_ns : float;
+  so_hit_ns : float;
+  so_miss_ns : float;
+  so_refilled : int;
+  so_post_refill_hit_ns : float;
+  so_pool : Snapshot.Pool.stats;
+}
+
+let run_scaleout () =
+  section "Fleet: scale-out latency — pool hit vs pool miss vs cold boot";
+  let machine = Hw.Machine.create ~cpus:2 ~mem_mib:512 () in
+  let host = Cki.Host.create machine in
+  let clock = Hw.Machine.clock machine in
+  let ccfg = cfg_of 1024 in
+  let cold_ns =
+    mean
+      (List.init 4 (fun _ ->
+           let c, ns = Hw.Clock.timed clock (fun () -> Cki.Container.create ~cfg:ccfg host) in
+           Cki.Container.destroy c;
+           ns))
+  in
+  let pool =
+    Snapshot.Pool.create ~low_water:2 ~target:4
+      ~make:(fun () ->
+        match Snapshot.Template.create (Cki.Container.create ~cfg:ccfg host) with
+        | Ok t -> t
+        | Error e -> failwith ("fleet bench: template build failed: " ^ Snapshot.Template.show_error e))
+      ()
+  in
+  let clones = ref [] in
+  let spawn () =
+    let r, ns = Hw.Clock.timed clock (fun () -> Snapshot.Pool.spawn_fast ~verify:true pool) in
+    match r with
+    | Ok c ->
+        clones := c :: !clones;
+        ns
+    | Error e -> failwith ("fleet bench: spawn failed: " ^ Snapshot.Template.show_error e)
+  in
+  let hit_ns = mean (List.init 8 (fun _ -> spawn ())) in
+  (* Template eviction: the drained pool must rebuild inline (cold
+     boot + capture + freeze) — the cliff the low-water refill avoids. *)
+  let miss_ns =
+    mean
+      (List.init 2 (fun _ ->
+           ignore (Snapshot.Pool.drain pool);
+           spawn ()))
+  in
+  ignore (Snapshot.Pool.drain pool);
+  let refilled = Snapshot.Pool.refill_low_water pool in
+  let post_refill_hit_ns = spawn () in
+  List.iter Cki.Container.destroy !clones;
+  let st = Snapshot.Pool.stats pool in
+  let tbl =
+    Report.Table.create ~title:"Time to a ready replica (simulated)"
+      ~header:[ "path"; "ns"; "vs cold" ]
+  in
+  Report.Table.add_row tbl [ "cold boot"; Printf.sprintf "%.0f" cold_ns; "1.0x" ];
+  Report.Table.add_row tbl
+    [ "pool miss (evicted)"; Printf.sprintf "%.0f" miss_ns; Printf.sprintf "%.1fx" (cold_ns /. miss_ns) ];
+  Report.Table.add_row tbl
+    [ "pool hit (warm clone)"; Printf.sprintf "%.0f" hit_ns; Printf.sprintf "%.0fx" (cold_ns /. hit_ns) ];
+  Report.Table.add_row tbl
+    [
+      "pool hit after refill";
+      Printf.sprintf "%.0f" post_refill_hit_ns;
+      Printf.sprintf "%.0fx" (cold_ns /. post_refill_hit_ns);
+    ];
+  Report.Table.print tbl;
+  Printf.printf "  pool: %d hits, %d misses, %d refills (%d rebuilt by the low-water hook)\n"
+    st.Snapshot.Pool.hits st.Snapshot.Pool.misses st.Snapshot.Pool.refills refilled;
+  Printf.printf "  acceptance: pool-hit >= 100x faster than cold boot %s (%.0fx)\n"
+    (if cold_ns >= 100.0 *. hit_ns then "OK" else "FAIL")
+    (cold_ns /. hit_ns);
+  {
+    so_cold_ns = cold_ns;
+    so_hit_ns = hit_ns;
+    so_miss_ns = miss_ns;
+    so_refilled = refilled;
+    so_post_refill_hit_ns = post_refill_hit_ns;
+    so_pool = st;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Churn + containers per host                                         *)
+(* ------------------------------------------------------------------ *)
+
+let free_frames mem =
+  let n = Hw.Phys_mem.total_frames mem in
+  let free = ref 0 in
+  for pfn = 0 to n - 1 do
+    if Hw.Phys_mem.is_free mem pfn then incr free
+  done;
+  !free
+
+let max_free_run mem =
+  let n = Hw.Phys_mem.total_frames mem in
+  let best = ref 0 and run = ref 0 in
+  for pfn = 0 to n - 1 do
+    if Hw.Phys_mem.is_free mem pfn then begin
+      incr run;
+      if !run > !best then best := !run
+    end
+    else run := 0
+  done;
+  !best
+
+type churn_out = {
+  ch_policy : string;
+  ch_cycles_done : int;
+  ch_created : int;
+  ch_failed : bool;
+  ch_free_fraction : float;
+  ch_max_run : int;
+  ch_live : Cki.Container.t list;
+  ch_host : Cki.Host.t;
+}
+
+(* Mixed transient/pinned churn: every cycle boots a transient container
+   (sizes rotating 4/6/3/5 MiB) over a sliding window of 48 long-lived
+   pinned containers (1/0.75/1.25/0.5 MiB).  The varied sizes defeat
+   hole recycling, so under first-fit the largest free run shrinks far
+   below the request while total free memory stays high. *)
+let churn ~policy ~cycles =
+  let machine = Hw.Machine.create ~cpus:2 ~mem_mib:96 () in
+  let mem = Hw.Machine.mem machine in
+  let host = Cki.Host.create ~policy machine in
+  let tsizes = [| 1024; 1536; 768; 1280 |] in
+  let psizes = [| 256; 192; 320; 128 |] in
+  let slots = [| None; None |] in
+  let pinned = Queue.create () in
+  let created = ref 0 in
+  let done_cycles = ref 0 in
+  let failed = ref false in
+  (try
+     for i = 0 to cycles - 1 do
+       let s = i mod 2 in
+       let c = Cki.Container.create ~cfg:(cfg_of tsizes.(i mod 4)) host in
+       incr created;
+       (match slots.(1 - s) with
+       | Some old ->
+           Cki.Container.destroy old;
+           slots.(1 - s) <- None
+       | None -> ());
+       slots.(s) <- Some c;
+       let p = Cki.Container.create ~cfg:(cfg_of psizes.(i mod 4)) host in
+       incr created;
+       Queue.add p pinned;
+       if Queue.length pinned > 48 then Cki.Container.destroy (Queue.pop pinned);
+       incr done_cycles
+     done
+   with Hw.Phys_mem.Out_of_memory -> failed := true);
+  let live =
+    Queue.fold (fun acc c -> c :: acc) [] pinned
+    @ List.filter_map Fun.id (Array.to_list slots)
+  in
+  {
+    ch_policy = (match policy with Cki.Host.First_fit -> "first_fit" | Cki.Host.Scatter -> "scatter");
+    ch_cycles_done = !done_cycles;
+    ch_created = !created;
+    ch_failed = !failed;
+    ch_free_fraction = float_of_int (free_frames mem) /. float_of_int (Hw.Phys_mem.total_frames mem);
+    ch_max_run = max_free_run mem;
+    ch_live = live;
+    ch_host = host;
+  }
+
+(* Pack 4 MiB replicas onto [host] until delegation fails. *)
+let pack host =
+  let packed = ref [] in
+  (try
+     while true do
+       packed := Cki.Container.create ~cfg:(cfg_of 1024) host :: !packed
+     done
+   with Hw.Phys_mem.Out_of_memory -> ());
+  !packed
+
+type churn_summary = {
+  cs_first_fit : churn_out;
+  cs_scatter : churn_out;
+  cs_rescue_packed : int;
+  cs_containers_per_host : int;
+  cs_churn_findings : int;
+}
+
+let run_churn () =
+  section "Fleet: container churn — first-fit fragmentation vs scatter delegation";
+  let cycles = 600 in
+  let ff = churn ~policy:Cki.Host.First_fit ~cycles in
+  Printf.printf "  first-fit: %s after %d cycles (%d containers); free %.0f%%, largest run %d frames\n"
+    (if ff.ch_failed then "FAILED" else "completed")
+    ff.ch_cycles_done ff.ch_created (100.0 *. ff.ch_free_fraction) ff.ch_max_run;
+  (* The same wedged host, switched to scatter: delegation resumes. *)
+  Cki.Host.set_policy ff.ch_host Cki.Host.Scatter;
+  let rescued = pack ff.ch_host in
+  Printf.printf "  ... switched to scatter, same fragmented host: %d more replicas packed\n"
+    (List.length rescued);
+  let sc = churn ~policy:Cki.Host.Scatter ~cycles in
+  Printf.printf "  scatter:   %s after %d cycles (%d containers); free %.0f%%, largest run %d frames\n"
+    (if sc.ch_failed then "FAILED" else "completed")
+    sc.ch_cycles_done sc.ch_created (100.0 *. sc.ch_free_fraction) sc.ch_max_run;
+  (* Live churn survivors must still satisfy the whole-machine
+     invariants (delegation exclusivity, PTE reach, CoW refcounts). *)
+  let findings = Analysis.check_machine ~containers:sc.ch_live in
+  Printf.printf "  analysis on %d live churn survivors: %d findings\n" (List.length sc.ch_live)
+    (List.length findings);
+  (* Containers per host: pack a fresh 512 MiB host with 4 MiB replicas. *)
+  let fresh = Cki.Host.create (Hw.Machine.create ~cpus:2 ~mem_mib:512 ()) in
+  let packed = pack fresh in
+  Printf.printf "  containers per host (fresh 512 MiB, 4 MiB segments): %d\n" (List.length packed);
+  Printf.printf "  acceptance: first-fit fails %s, scatter >= 500 cycles %s, >= 100 containers/host %s\n"
+    (if ff.ch_failed then "OK" else "FAIL")
+    (if (not sc.ch_failed) && sc.ch_cycles_done >= 500 then "OK" else "FAIL")
+    (if List.length packed >= 100 then "OK" else "FAIL");
+  {
+    cs_first_fit = ff;
+    cs_scatter = sc;
+    cs_rescue_packed = List.length rescued;
+    cs_containers_per_host = List.length packed;
+    cs_churn_findings = List.length findings;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let churn_json (c : churn_out) =
+  Report.Json.Obj
+    [
+      ("policy", Report.Json.String c.ch_policy);
+      ("cycles_done", Report.Json.Int c.ch_cycles_done);
+      ("containers_created", Report.Json.Int c.ch_created);
+      ("failed", Report.Json.String (if c.ch_failed then "yes" else "no"));
+      ("free_fraction", Report.Json.Float c.ch_free_fraction);
+      ("largest_free_run_frames", Report.Json.Int c.ch_max_run);
+    ]
+
+let run ?(json = false) () =
+  let serving = run_serving () in
+  let so = run_scaleout () in
+  let cs = run_churn () in
+  if json then begin
+    Report.Json.write_file "BENCH_fleet.json"
+      (Report.Json.Obj
+         [
+           ("bench", Report.Json.String "fleet");
+           ( "serving",
+             Report.Json.Obj
+               [
+                 ( "offered",
+                   Report.Json.Int
+                     (List.fold_left
+                        (fun a (tr : Fleet.Controller.tenant_result) -> a + tr.Fleet.Controller.tr_offered)
+                        0 serving.Fleet.Controller.tenants) );
+                 ("makespan_ns", Report.Json.Float serving.Fleet.Controller.makespan_ns);
+                 ( "tenants",
+                   Report.Json.List (List.map tenant_json serving.Fleet.Controller.tenants) );
+               ] );
+           ( "scale_out",
+             Report.Json.Obj
+               [
+                 ("cold_boot_ns", Report.Json.Float so.so_cold_ns);
+                 ("pool_hit_ns", Report.Json.Float so.so_hit_ns);
+                 ("pool_miss_ns", Report.Json.Float so.so_miss_ns);
+                 ("hit_speedup_vs_cold", Report.Json.Float (so.so_cold_ns /. so.so_hit_ns));
+                 ("miss_speedup_vs_cold", Report.Json.Float (so.so_cold_ns /. so.so_miss_ns));
+                 ("low_water_refilled", Report.Json.Int so.so_refilled);
+                 ("post_refill_hit_ns", Report.Json.Float so.so_post_refill_hit_ns);
+                 ("pool_hits", Report.Json.Int so.so_pool.Snapshot.Pool.hits);
+                 ("pool_misses", Report.Json.Int so.so_pool.Snapshot.Pool.misses);
+                 ("pool_refills", Report.Json.Int so.so_pool.Snapshot.Pool.refills);
+               ] );
+           ( "churn",
+             Report.Json.Obj
+               [
+                 ("first_fit", churn_json cs.cs_first_fit);
+                 ("scatter", churn_json cs.cs_scatter);
+                 ("fragmented_host_rescue_packed", Report.Json.Int cs.cs_rescue_packed);
+                 ("containers_per_host", Report.Json.Int cs.cs_containers_per_host);
+                 ("analysis_findings", Report.Json.Int cs.cs_churn_findings);
+               ] );
+         ]);
+    Printf.printf "\nwrote BENCH_fleet.json\n"
+  end

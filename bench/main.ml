@@ -14,7 +14,7 @@
    that support it: snapshot -> BENCH_snapshot.json, modelcheck ->
    BENCH_modelcheck.json, micro -> BENCH_micro.json, srclint ->
    BENCH_srclint.json, ioplane -> BENCH_ioplane.json, engine ->
-   BENCH_engine.json.
+   BENCH_engine.json, fleet -> BENCH_fleet.json.
 
    `validate` parses every BENCH_*.json in the current directory with
    Report.Json.parse and fails if any is malformed — the CI check that
@@ -104,6 +104,9 @@ let () =
     | "engine" ->
         Engine_bench.run ~json ();
         true
+    | "fleet" ->
+        Fleet_bench.run ~json ();
+        true
     | "validate" ->
         validate_artifacts ();
         true
@@ -117,7 +120,10 @@ let () =
   | [ "list" ] ->
       List.iter (fun (name, _) -> print_endline name) Experiments.all;
       List.iter print_endline
-        [ "snapshot"; "modelcheck"; "ioplane"; "micro"; "srclint"; "engine"; "simbench"; "validate" ]
+        [
+          "snapshot"; "modelcheck"; "ioplane"; "fleet"; "micro"; "srclint"; "engine"; "simbench";
+          "validate";
+        ]
   | [] ->
       Printf.printf "CKI (EuroSys'25) reproduction — full benchmark run\n";
       Printf.printf "===================================================\n";
@@ -129,6 +135,7 @@ let () =
       Snap_bench.run ~json ();
       Mc_bench.run ~json ();
       Ioplane_bench.run ~json ();
+      Fleet_bench.run ~json ();
       Srclint_bench.run ~json ();
       Engine_bench.run ~json ();
       if json then micro_json ();

@@ -80,7 +80,7 @@ let run ?(json = false) () =
         | Error e -> failwith (Snapshot.Restore.show_error e))
   in
   (* Warm clones through a pool. *)
-  let pool = Snapshot.Pool.create ~target:1 ~make:(fun () -> tpl) in
+  let pool = Snapshot.Pool.create ~target:1 ~make:(fun () -> tpl) () in
   let n_clones = 4 in
   let clones, clone_ns_total =
     Hw.Clock.timed clock (fun () ->

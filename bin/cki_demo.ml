@@ -5,6 +5,7 @@
      cki_demo policy
      cki_demo kv       [--clients N] [--redis] [--backend ...] [--nested]
      cki_demo serve    [--containers N] [--requests M] [--window W] [--backend ...]
+     cki_demo fleet    [--tenants N] [--rate R] [--requests M] [--slo US] [--quota PCT]
      cki_demo snapshot [--out FILE]
      cki_demo restore  [--in FILE]
      cki_demo clone    [--clones N] [--warm K]
@@ -146,6 +147,51 @@ let serve backend nested containers requests window workload rate sched fsync ch
   cki_containers := booted @ !cki_containers;
   Format.printf "%a@." Ioplane.Serve.pp_result r
 
+(* The fleet controller: per-tenant serving slices with admission
+   control, pick-two load balancing and SLO-driven autoscaling over
+   warm clones.  Every scale-out clone is re-verified by the analysis
+   scanner inside the controller; a verification refusal is a --check
+   finding (exit 2) like any other. *)
+let fleet tenants rate requests slo max_replicas quota_pct admission domains check =
+  if tenants < 1 then failwith "need at least one tenant";
+  with_check check @@ fun () ->
+  let mk i =
+    {
+      Fleet.Controller.default_tenant with
+      Fleet.Controller.name = Printf.sprintf "tenant%d" i;
+      rate_rps = rate;
+      requests;
+      admission_rps = (if admission <= 0.0 then infinity else admission);
+    }
+  in
+  let cfg =
+    {
+      Fleet.Controller.default_config with
+      Fleet.Controller.tenants = List.init tenants mk;
+      autoscaler =
+        {
+          Fleet.Autoscaler.default_config with
+          Fleet.Autoscaler.slo_p99_us = slo;
+          max_replicas;
+        };
+      cpu_quota =
+        (if quota_pct <= 0.0 then None
+         else Some (1_000_000.0, quota_pct /. 100.0 *. 1_000_000.0));
+    }
+  in
+  let r = Fleet.Controller.run ~domains cfg in
+  List.iter (fun tr -> Format.printf "%a@." Fleet.Controller.pp_tenant_result tr) r.Fleet.Controller.tenants;
+  Format.printf "makespan %.1f ms (simulated)@." (r.Fleet.Controller.makespan_ns /. 1e6);
+  let vf =
+    List.fold_left
+      (fun a tr -> a + tr.Fleet.Controller.tr_verify_failures)
+      0 r.Fleet.Controller.tenants
+  in
+  if vf > 0 then begin
+    Printf.eprintf "%d scale-out clones failed re-verification\n" vf;
+    if check then exit 2
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Snapshot / restore / clone                                          *)
 (* ------------------------------------------------------------------ *)
@@ -219,7 +265,7 @@ let clone_cmd_impl clones warm check =
     | Ok t -> t
     | Error e -> failwith (Snapshot.Template.show_error e)
   in
-  let pool = Snapshot.Pool.create ~target:warm ~make in
+  let pool = Snapshot.Pool.create ~target:warm ~make () in
   let total = ref 0.0 in
   for _ = 1 to clones do
     match Hw.Clock.timed clock (fun () -> Snapshot.Pool.spawn_fast pool) with
@@ -392,6 +438,51 @@ let serve_cmd =
       const serve $ backend_arg $ nested_arg $ containers $ requests $ window $ workload $ rate
       $ sched $ fsync $ check_arg)
 
+let fleet_cmd =
+  let tenants =
+    Arg.(value & opt int 2 & info [ "n"; "tenants" ] ~doc:"Tenants, each an isolated slice.")
+  in
+  let rate =
+    Arg.(value & opt float 30_000.0 & info [ "rate" ] ~doc:"Open-loop arrival rate per tenant (req/s).")
+  in
+  let requests = Arg.(value & opt int 5_000 & info [ "r"; "requests" ] ~doc:"Requests per tenant.") in
+  let slo =
+    Arg.(
+      value
+      & opt float Fleet.Autoscaler.default_config.Fleet.Autoscaler.slo_p99_us
+      & info [ "slo" ] ~doc:"p99 latency SLO in microseconds; a windowed breach scales out.")
+  in
+  let max_replicas =
+    Arg.(
+      value
+      & opt int Fleet.Autoscaler.default_config.Fleet.Autoscaler.max_replicas
+      & info [ "max-replicas" ] ~doc:"Autoscaler ceiling per tenant.")
+  in
+  let quota =
+    Arg.(
+      value & opt float 10.0
+      & info [ "quota" ] ~doc:"Per-replica CPU budget as a percentage (cpu.max); 0 = uncapped.")
+  in
+  let admission =
+    Arg.(
+      value & opt float 0.0
+      & info [ "admission" ] ~doc:"Per-tenant admission token rate (req/s); 0 = off.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~doc:"Shard tenants across OCaml domains (0 = inline).")
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~exits
+       ~doc:
+         "Serve an open-loop multi-tenant fleet through the fleet controller: pick-two load \
+          balancing, token-bucket admission control, and SLO-driven autoscaling that \
+          scales out with analysis-verified warm clones and scales idle replicas back in.")
+    Term.(
+      const fleet $ tenants $ rate $ requests $ slo $ max_replicas $ quota $ admission $ domains
+      $ check_arg)
+
 let snapshot_cmd =
   let out =
     Arg.(value & opt string "container.ckisnap" & info [ "o"; "out" ] ~doc:"Output image file.")
@@ -489,6 +580,7 @@ let () =
             policy_cmd;
             kv_cmd;
             serve_cmd;
+            fleet_cmd;
             snapshot_cmd;
             restore_cmd;
             clone_cmd;

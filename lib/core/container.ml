@@ -211,9 +211,12 @@ let create ?(env = Virt.Env.Bare_metal) ?(cfg = Config.default) (host : Host.t) 
   let clock = Hw.Machine.clock machine in
   let container_id = Host.fresh_container_id host in
   let pcid = Hw.Machine.fresh_pcid machine in
-  let base, frames = Host.delegate_segment host ~container:container_id ~frames:cfg.Config.segment_frames in
-  let ksm = Ksm.create mem clock ~container_id ~cfg ~segments:[ (base, frames) ] in
-  let buddy = Kernel_model.Buddy.create ~base ~frames in
+  (* Policy-dispatching delegation: one contiguous segment under
+     first-fit, possibly several chunks under scatter.  The KSM's
+     direct map and the buddy's zones both take the same list. *)
+  let segments = Host.delegate host ~container:container_id ~frames:cfg.Config.segment_frames in
+  let ksm = Ksm.create mem clock ~container_id ~cfg ~segments in
+  let buddy = Kernel_model.Buddy.create_zones ~segments in
   let aspaces = Hashtbl.create 16 in
   let next_as = ref 0 in
   (* Cold boot pays the guest kernel's own boot sequence on top of the
@@ -221,6 +224,73 @@ let create ?(env = Virt.Env.Bare_metal) ?(cfg = Config.default) (host : Host.t) 
      amortize away. *)
   Hw.Clock.charge clock "guest_kernel_boot" Hw.Cost.guest_kernel_boot;
   assemble ~env ~cfg host ~container_id ~pcid ~ksm ~buddy ~aspaces ~next_as ()
+
+(* Tear a container down completely, returning every frame to the host.
+
+   The inverse of [create]/restore/clone, and the operation the fleet's
+   scale-in and churn lean on.  Order matters:
+
+   1. drop the CoW references this container holds on *other*
+      containers' frozen template frames — found by walking its live
+      page tables (every present leaf whose target is a shared
+      read-only frame the container does not own took exactly one
+      reference at clone time; CoW breaks already released theirs);
+   2. reclaim the delegated segments;
+   3. sweep every remaining frame the container or its KSM owns
+      (KSM-private state, page tables, a private kernel image).
+
+   A frozen template cannot be destroyed while clones still reference
+   its frames — the shared-frame scan refuses first, so a mistake
+   cannot strand clones over freed memory. *)
+let destroy t =
+  let machine = Host.machine t.host in
+  let mem = Hw.Machine.mem machine in
+  let id = t.container_id in
+  for pfn = 0 to Hw.Phys_mem.total_frames mem - 1 do
+    match Hw.Phys_mem.owner mem pfn with
+    | (Hw.Phys_mem.Container k | Hw.Phys_mem.Ksm k) when k = id ->
+        if Hw.Phys_mem.is_shared_ro mem pfn && Hw.Phys_mem.refcount mem pfn > 0 then
+          invalid_arg
+            (Printf.sprintf
+               "Container.destroy: container %d is a frozen template with live clones (frame %d \
+                still referenced)"
+               id pfn)
+    | _ -> ()
+  done;
+  (* 1. Release CoW references on foreign shared frames. *)
+  let visited : (Hw.Addr.pfn, unit) Hashtbl.t = Hashtbl.create 256 in
+  let rec walk lvl pfn =
+    if not (Hashtbl.mem visited pfn) then begin
+      Hashtbl.replace visited pfn ();
+      for idx = 0 to Hw.Addr.entries_per_table - 1 do
+        let e = Hw.Phys_mem.read_entry mem ~pfn ~index:idx in
+        if Hw.Pte.is_present e then begin
+          let target = Hw.Pte.pfn e in
+          let leaf = lvl = 1 || (lvl = 2 && Hw.Pte.is_huge e) in
+          if leaf then begin
+            let foreign =
+              match Hw.Phys_mem.owner mem target with
+              | Hw.Phys_mem.Container k | Hw.Phys_mem.Ksm k -> k <> id
+              | _ -> false
+            in
+            if foreign && Hw.Phys_mem.is_shared_ro mem target then
+              Hw.Phys_mem.decr_ref mem target
+          end
+          else walk (lvl - 1) target
+        end
+      done
+    end
+  in
+  List.iter
+    (fun (root, copies) ->
+      walk Hw.Addr.levels root;
+      Array.iter (fun copy -> walk Hw.Addr.levels copy) copies)
+    (Ksm.roots t.ksm);
+  (* 2 + 3. Reclaim the segments, then let the KSM sweep stragglers
+     (KSM state, page tables, kernel image) — stripping a template's
+     shared_ro tag is a TCB operation. *)
+  Host.reclaim_segment t.host ~container:id;
+  Ksm.scrub_owned t.ksm
 
 (* Convenience: build a host + container in one step (examples). *)
 let create_standalone ?(env = Virt.Env.Bare_metal) ?(cfg = Config.default) ?(mem_mib = 512) () =

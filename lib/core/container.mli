@@ -36,11 +36,22 @@ val enter_guest_kernel : Hw.Cpu.t -> unit
     PKRS = PKRS_GUEST. *)
 
 val create : ?env:Virt.Env.t -> ?cfg:Config.t -> Host.t -> t
-(** Boot a container on [Host.t]: delegates a contiguous segment,
-    constructs the KSM (trusted boot), allocates a PCID and vCPUs, and
-    wires the guest kernel's platform.  Charges the full guest-kernel
-    boot cost ({!Hw.Cost.guest_kernel_boot}) — the cost that snapshot
-    restore and warm clones amortize away. *)
+(** Boot a container on [Host.t]: delegates hPA segments under the
+    host's delegation policy (one contiguous run under [First_fit],
+    possibly several chunks under [Scatter]), constructs the KSM
+    (trusted boot), allocates a PCID and vCPUs, and wires the guest
+    kernel's platform.  Charges the full guest-kernel boot cost
+    ({!Hw.Cost.guest_kernel_boot}) — the cost that snapshot restore and
+    warm clones amortize away. *)
+
+val destroy : t -> unit
+(** Tear the container down completely: drop the CoW references it
+    holds on other containers' frozen template frames (found by walking
+    its live page tables), reclaim its delegated segments, and free
+    every frame it or its KSM owns.  The operation behind fleet
+    scale-in and create/destroy churn.
+    @raise Invalid_argument on a frozen template whose frames clones
+    still reference. *)
 
 val assemble :
   ?env:Virt.Env.t ->

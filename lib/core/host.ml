@@ -8,11 +8,25 @@
 
 type delegated = { base : Hw.Addr.pfn; frames : int; container : int }
 
+(* How segments are delegated.  [First_fit] is the paper's inherited
+   limitation: the whole request must be one contiguous run, so churn
+   plus interleaved host allocations eventually leaves no run long
+   enough even when plenty of total memory is free.  [Scatter] tries
+   contiguous first and, when no run fits, adaptively splits the
+   request into smaller chunks (halving down to [scatter_min_chunk]),
+   so delegation succeeds whenever enough memory exists in runs of at
+   least the minimum chunk — the property the fleet's create/destroy
+   churn depends on. *)
+type policy = First_fit | Scatter
+
+let scatter_min_chunk = 64 (* 256 KiB: bounds the zone count per container *)
+
 type t = {
   machine : Hw.Machine.t;
   clock : Hw.Clock.t;
   host_root : Hw.Addr.pfn;  (** host kernel page-table root *)
   host_pcid : int;
+  mutable policy : policy;
   mutable delegations : delegated list;
   mutable next_container : int;
   mutable hypercalls : int;
@@ -21,7 +35,7 @@ type t = {
   mutable doorbells : int;  (** device-doorbell hypercalls (Net/Blk) *)
 }
 
-let create (machine : Hw.Machine.t) =
+let create ?(policy = Scatter) (machine : Hw.Machine.t) =
   let mem = Hw.Machine.mem machine in
   let host_root = Hw.Phys_mem.alloc mem ~owner:Hw.Phys_mem.Host ~kind:(Hw.Phys_mem.Page_table 4) in
   {
@@ -29,6 +43,7 @@ let create (machine : Hw.Machine.t) =
     clock = Hw.Machine.clock machine;
     host_root;
     host_pcid = 0;
+    policy;
     delegations = [];
     next_container = 1;
     hypercalls = 0;
@@ -40,6 +55,8 @@ let create (machine : Hw.Machine.t) =
 let machine t = t.machine
 let host_root t = t.host_root
 let host_pcid t = t.host_pcid
+let policy t = t.policy
+let set_policy t p = t.policy <- p
 
 let fresh_container_id t =
   let id = t.next_container in
@@ -57,6 +74,51 @@ let delegate_segment t ~container ~frames =
   in
   t.delegations <- { base; frames; container } :: t.delegations;
   (base, frames)
+
+(* Scatter delegation: contiguous when a run exists (so the layout is
+   identical to first-fit on an unfragmented host), otherwise split the
+   request adaptively — halve the attempted chunk on every contiguous
+   failure, down to [scatter_min_chunk].  Chunks are recorded as
+   independent delegations, so [reclaim_segment] and the analysis
+   scanner need no special casing.  On failure every chunk already
+   taken is rolled back before Out_of_memory propagates. *)
+let delegate_scatter t ~container ~frames =
+  let mem = Hw.Machine.mem t.machine in
+  let chunks = ref [] in
+  let rollback () =
+    List.iter
+      (fun (base, n) ->
+        for pfn = base to base + n - 1 do
+          Hw.Phys_mem.free mem pfn
+        done)
+      !chunks
+  in
+  let rec fill remaining attempt =
+    if remaining > 0 then
+      let attempt = min attempt remaining in
+      match
+        Hw.Phys_mem.alloc_contiguous mem ~owner:(Hw.Phys_mem.Container container)
+          ~kind:Hw.Phys_mem.Data ~count:attempt
+      with
+      | base ->
+          chunks := (base, attempt) :: !chunks;
+          fill (remaining - attempt) attempt
+      | exception Hw.Phys_mem.Out_of_memory ->
+          if attempt <= scatter_min_chunk then begin
+            rollback ();
+            raise Hw.Phys_mem.Out_of_memory
+          end
+          else fill remaining (max scatter_min_chunk (attempt / 2))
+  in
+  fill frames frames;
+  let segs = List.rev !chunks in
+  List.iter (fun (base, n) -> t.delegations <- { base; frames = n; container } :: t.delegations) segs;
+  segs
+
+let delegate t ~container ~frames =
+  match t.policy with
+  | First_fit -> [ delegate_segment t ~container ~frames ]
+  | Scatter -> delegate_scatter t ~container ~frames
 
 let reclaim_segment t ~container =
   let mem = Hw.Machine.mem t.machine in
@@ -115,38 +177,82 @@ module Warm_pool = struct
   type 'a t = {
     make : unit -> 'a;
     target : int;
+    low_water : int;
     ready : 'a Queue.t;
-    mutable prebooted : int;  (** templates ever built (pre-boot + misses) *)
+    mutable prebooted : int;  (** templates ever built (pre-boot + misses + refills) *)
     mutable served : int;  (** take requests served *)
+    mutable hits : int;  (** takes served from a ready template *)
+    mutable misses : int;  (** takes that had to build inline (cold path) *)
+    mutable refills : int;  (** templates built by refill_low_water *)
   }
 
-  let refill p =
-    while Queue.length p.ready < p.target do
+  let refill_to p n =
+    let built = ref 0 in
+    while Queue.length p.ready < n do
       Queue.add (p.make ()) p.ready;
-      p.prebooted <- p.prebooted + 1
-    done
+      p.prebooted <- p.prebooted + 1;
+      incr built
+    done;
+    !built
 
-  let create ~target ~make =
-    if target < 0 then invalid_arg "Warm_pool.create";
-    let p = { make; target; ready = Queue.create (); prebooted = 0; served = 0 } in
-    refill p;
+  let create ?(low_water = 0) ~target ~make () =
+    if target < 0 || low_water < 0 || low_water > target then invalid_arg "Warm_pool.create";
+    let p =
+      {
+        make;
+        target;
+        low_water;
+        ready = Queue.create ();
+        prebooted = 0;
+        served = 0;
+        hits = 0;
+        misses = 0;
+        refills = 0;
+      }
+    in
+    ignore (refill_to p target);
     p
 
   (* Templates are immutable once frozen, so a take rotates rather than
-     consumes: the same template serves an unbounded number of clones. *)
+     consumes: the same template serves an unbounded number of clones.
+     An empty pool is a miss — the cold build happens inline, which is
+     exactly what [refill_low_water] exists to get ahead of. *)
   let take p =
     p.served <- p.served + 1;
     match Queue.take_opt p.ready with
     | Some x ->
+        p.hits <- p.hits + 1;
         Queue.add x p.ready;
         x
     | None ->
         let x = p.make () in
         p.prebooted <- p.prebooted + 1;
+        p.misses <- p.misses + 1;
         Queue.add x p.ready;
         x
+
+  (* The background-refill hook: called from the host's idle path (the
+     fleet controller runs it between event-loop rounds), it tops the
+     pool back to target once the ready count dips below the low-water
+     mark, so a scale-out burst keeps hitting warm templates instead of
+     collapsing to the cold build silently. *)
+  let refill_low_water p =
+    if Queue.length p.ready < p.low_water then begin
+      let built = refill_to p p.target in
+      p.refills <- p.refills + built;
+      built
+    end
+    else 0
+
+  let drain p =
+    let n = Queue.length p.ready in
+    Queue.clear p.ready;
+    n
 
   let size p = Queue.length p.ready
   let prebooted p = p.prebooted
   let served p = p.served
+  let hits p = p.hits
+  let misses p = p.misses
+  let refills p = p.refills
 end

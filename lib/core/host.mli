@@ -7,18 +7,45 @@
 
 type delegated = { base : Hw.Addr.pfn; frames : int; container : int }
 
+(** Segment-delegation policy. [First_fit] is the paper's acknowledged
+    fragmentation limitation (the whole request must be one contiguous
+    run); [Scatter] — the default — falls back to adaptively splitting
+    the request into smaller contiguous chunks, so delegation survives
+    heavy container churn. *)
+type policy = First_fit | Scatter
+
+val scatter_min_chunk : int
+(** Smallest chunk scatter delegation will take (bounds a container's
+    zone count). *)
+
 type t
 
-val create : Hw.Machine.t -> t
+val create : ?policy:policy -> Hw.Machine.t -> t
+(** Default policy is [Scatter]. *)
+
 val machine : t -> Hw.Machine.t
 val host_root : t -> Hw.Addr.pfn
 val host_pcid : t -> int
+val policy : t -> policy
+val set_policy : t -> policy -> unit
 val fresh_container_id : t -> int
 
 val delegate_segment : t -> container:int -> frames:int -> Hw.Addr.pfn * int
 (** First-fit contiguous hPA delegation — fragmentation-prone by
     design (the paper's acknowledged limitation).
     @raise Hw.Phys_mem.Out_of_memory when no sufficient run exists. *)
+
+val delegate_scatter : t -> container:int -> frames:int -> (Hw.Addr.pfn * int) list
+(** Scatter delegation: contiguous when a run exists (layout identical
+    to first-fit on an unfragmented host), otherwise split adaptively —
+    the attempted chunk halves on each contiguous failure down to
+    {!scatter_min_chunk}. Partial allocations are rolled back.
+    @raise Hw.Phys_mem.Out_of_memory when free runs of at least the
+    minimum chunk cannot cover the request. *)
+
+val delegate : t -> container:int -> frames:int -> (Hw.Addr.pfn * int) list
+(** Policy-dispatching delegation: one segment under [First_fit],
+    possibly several under [Scatter]. *)
 
 val reclaim_segment : t -> container:int -> unit
 val delegations_of : t -> container:int -> delegated list
@@ -44,14 +71,28 @@ val doorbell_count : t -> int
 module Warm_pool : sig
   type 'a t
 
-  val create : target:int -> make:(unit -> 'a) -> 'a t
-  (** Pre-boot [target] templates with [make]. *)
+  val create : ?low_water:int -> target:int -> make:(unit -> 'a) -> unit -> 'a t
+  (** Pre-boot [target] templates with [make]. [low_water] (default 0)
+      arms {!refill_low_water}. *)
 
   val take : 'a t -> 'a
   (** Next ready template (round-robin); falls back to [make] — and
-      keeps the new template in the pool — when empty. *)
+      keeps the new template in the pool — when empty. A take from a
+      ready template counts as a hit, an inline build as a miss. *)
+
+  val refill_low_water : 'a t -> int
+  (** Background-refill hook: when the ready count has dipped below the
+      low-water mark, rebuild up to target; returns templates built. *)
+
+  val drain : 'a t -> int
+  (** Empty the ready queue (simulating template eviction); returns the
+      number dropped. The next {!take} is a miss unless
+      {!refill_low_water} runs first. *)
 
   val size : 'a t -> int
   val prebooted : 'a t -> int
   val served : 'a t -> int
+  val hits : 'a t -> int
+  val misses : 'a t -> int
+  val refills : 'a t -> int
 end

@@ -632,5 +632,22 @@ let declared_ptps t =
     t.descs []
 
 let roots t = Hashtbl.fold (fun pfn info acc -> (pfn, info.copies) :: acc) t.roots []
+
+(* Final teardown sweep: free every frame still owned by this container
+   or its KSM, clearing a frozen template's shared_ro tag first so the
+   frame returns to the host clean.  The KSM is the only component
+   trusted to strip that tag; the caller (Container.destroy) must
+   already have verified no clone still references these frames and
+   dropped this container's own CoW references to foreign frames. *)
+let scrub_owned t =
+  let mem = t.mem in
+  let id = t.container_id in
+  for pfn = 0 to Hw.Phys_mem.total_frames mem - 1 do
+    match Hw.Phys_mem.owner mem pfn with
+    | (Hw.Phys_mem.Container k | Hw.Phys_mem.Ksm k) when k = id ->
+        if Hw.Phys_mem.is_shared_ro mem pfn then Hw.Phys_mem.set_shared_ro mem pfn false;
+        Hw.Phys_mem.free mem pfn
+    | _ -> ()
+  done
 let template_slots t = List.map fst t.template
 let kernel_exec_frozen t = t.kernel_exec_frozen

@@ -173,6 +173,12 @@ val declared_ptps : t -> (Hw.Addr.pfn * int) list
 val roots : t -> (Hw.Addr.pfn * Hw.Addr.pfn array) list
 (** All declared top-level PTPs with their per-vCPU copies. *)
 
+val scrub_owned : t -> unit
+(** Teardown sweep: free every frame this container or its KSM still
+    owns, stripping a template's shared-read-only tag first.  Only the
+    KSM may strip that tag; {!Container.destroy} calls this last, after
+    verifying no clone still references the frames. *)
+
 val template_slots : t -> int list
 (** The fixed L4 indices the KSM splices into every root. *)
 

@@ -1,0 +1,94 @@
+(** The fleet controller: load balancing, admission control and
+    SLO-driven autoscaling over warm clones.
+
+    One tenant = one isolated slice (own machine, host, template pool,
+    event loop, vCPU scheduler).  Replicas are warm CoW clones from
+    {!Snapshot.Pool.spawn_fast}, each re-verified by the analysis
+    scanner before taking traffic; scale-in destroys them with
+    {!Cki.Container.destroy}.  With a CPU quota per replica, capacity
+    is budget-rate: overload breaches the windowed p99 and scale-out
+    genuinely restores the SLO by adding budget.
+
+    Deterministic: every tenant's counters are a pure function of the
+    config and its derived seed, identical for any [?domains]. *)
+
+type tenant = {
+  name : string;
+  workload : Ioplane.Serve.workload;
+  rate_rps : float;
+  requests : int;
+  max_inflight : int;  (** admission inflight cap; [max_int] = off *)
+  admission_rps : float;  (** admission token rate; [infinity] = off *)
+}
+
+val default_tenant : tenant
+
+type config = {
+  tenants : tenant list;
+  balancer : Balancer.policy;
+  autoscaler : Autoscaler.config;
+  container_cfg : Cki.Config.t;
+  cpu_quota : (float * float) option;  (** per-replica (period_ns, budget_ns) *)
+  initial_replicas : int;  (** bootstrap fleet size; effective floor is min_replicas *)
+  pool_target : int;
+  pool_low_water : int;
+  io_window : int;
+  queue_size : int;
+  mem_mib : int;  (** per-tenant machine memory *)
+  seed : int;
+}
+
+val default_container_cfg : Cki.Config.t
+(** 4 MiB segments, one vCPU: sized so a host carries hundreds of
+    replicas. *)
+
+val default_config : config
+
+type spawn_sample = { s_ns : float; s_pool_hit : bool }
+
+type tenant_result = {
+  tr_name : string;
+  tr_offered : int;
+  tr_admitted : int;
+  tr_shed : int;
+  tr_shed_rate : int;
+  tr_shed_inflight : int;
+  tr_completed : int;
+  tr_mean_us : float;
+  tr_p50_us : float;
+  tr_p95_us : float;
+  tr_p99_us : float;
+  tr_windows : int;
+  tr_breaches : int;
+  tr_scale_outs : int;
+  tr_scale_ins : int;
+  tr_verify_failures : int;
+  tr_peak_replicas : int;
+  tr_final_replicas : int;
+  tr_spawns : spawn_sample list;
+  tr_pool : Snapshot.Pool.stats;
+  tr_balancer_picks : int;
+  tr_throttle_events : int;
+  tr_elapsed_ns : float;
+}
+
+type result = { tenants : tenant_result list; makespan_ns : float; domains : int }
+
+val tenant_seed : int -> int -> int
+(** Derived per-tenant seed (never 0). *)
+
+val run_tenant : config -> tenant -> seed:int -> tenant_result
+(** One tenant's complete serving run on its own machine.  Exposed for
+    tests; {!run} is the fleet entry point.
+    @raise Invalid_argument on a malformed tenant;
+    @raise Failure if the harness cannot converge or a bootstrap
+    replica fails verification. *)
+
+val run : ?domains:int -> config -> result
+(** Serve every tenant.  [domains = 0] or [1] runs tenants inline;
+    [domains > 1] shards them across OCaml domains round-robin.
+    Tenant results are merged in fixed tenant order and the makespan is
+    the max over domains of their tenants' summed elapsed times —
+    counters never depend on [domains]. *)
+
+val pp_tenant_result : Format.formatter -> tenant_result -> unit

@@ -8,7 +8,12 @@
    RX ring fill -> guest syscalls -> TX ring -> host service pass ->
    switch -> client port — and the per-request doorbell / interrupt /
    exit counts fall out of the same EVENT_IDX machinery the kernels
-   use everywhere else. *)
+   use everywhere else.
+
+   The per-container plumbing lives in [Lane]: one backend wired to
+   the event loop plus its client port, request encoder and completion
+   bookkeeping.  This harness drives a fixed set of lanes; the fleet
+   controller (lib/fleet) attaches and detaches lanes dynamically. *)
 
 type workload = Kv_memcached | Kv_redis | Web_static | Web_httpd
 [@@deriving show { with_path = false }, eq]
@@ -26,6 +31,186 @@ let workload_of_string = function
   | "httpd" -> Some Web_httpd
   | _ -> None
 
+(* Exit-accounting events per backend: every guest/host privilege
+   crossing the paper counts in Figure 16. *)
+let exit_events = function
+  | "runc" -> []
+  | "hvm" -> [ "vmexit"; "vmexit_nested" ]
+  | "pvm" -> [ "pvm_hypercall"; "pvm_hypercall_nst" ]
+  | "cki" -> [ "cki_hypercall"; "cki_irq_exit" ]
+  | other -> invalid_arg ("Serve: unknown backend " ^ other)
+
+let count_events clock names =
+  List.fold_left (fun acc e -> acc + Hw.Clock.occurrences clock e) 0 names
+
+(* Drain the wire-side client peer of socket [sid], returning the
+   number of frames taken. For virtio backends the switch port carries
+   the measured reply path and the wire copy is discarded; for runc
+   (no rings) the wire IS the reply path. *)
+let drain_wire kernel sid =
+  match Kernel_model.Kernel.socket_endpoint kernel sid with
+  | None -> 0
+  | Some ep -> (
+      match ep.Kernel_model.Net.peer with
+      | None -> 0
+      | Some pid ->
+          let peer = Kernel_model.Net.get (Kernel_model.Kernel.wire kernel) pid in
+          let n = ref 0 in
+          while Kernel_model.Net.pending peer > 0 do
+            ignore (Kernel_model.Net.recv peer);
+            incr n
+          done;
+          !n)
+
+module Lane = struct
+  type t = {
+    backend : Virt.Backend.t;
+    kernel : Kernel_model.Kernel.t;
+    loop : Loop.t;
+    att : Loop.attachment;
+    client : Switch.port;
+    encode : unit -> Bytes.t * (unit -> unit);
+        (** draw the next request: wire payload + its handler *)
+    inflight : (float * (unit -> unit)) Queue.t;  (** delivered-but-unhandled *)
+    awaiting : float Queue.t;  (** handled, reply in transit: arrival ts *)
+    mutable sent : int;
+    mutable completed : int;
+    mutable detached : bool;
+  }
+
+  let attach ~loop ~workload ?(fsync_every = 0) ?(queue_size = 64) ?(window = 1) ~rand ~name
+      (b : Virt.Backend.t) =
+    let kernel = b.Virt.Backend.kernel in
+    Kernel_model.Kernel.configure_io ~queue_size ~window kernel;
+    let att = Loop.attach loop kernel ~name in
+    let switch = Loop.switch loop in
+    let client = Switch.port switch ~name:(name ^ "-client") in
+    Switch.connect switch att.Loop.port client;
+    let sid, encode =
+      match workload with
+      | Kv_memcached | Kv_redis ->
+          let flavor =
+            match workload with Kv_redis -> Workloads.Kv.Redis | _ -> Workloads.Kv.Memcached
+          in
+          let srv = Workloads.Kv.create_server b flavor in
+          let log_fd =
+            if fsync_every > 0 then
+              match
+                Virt.Backend.syscall_exn b srv.Workloads.Kv.task
+                  (Kernel_model.Syscall.Open { path = "/kv.log"; create = true })
+              with
+              | Kernel_model.Syscall.Rint fd -> Some fd
+              | _ -> None
+            else None
+          in
+          let sets = ref 0 in
+          let encode () =
+            let key = rand 100_000 in
+            let req = if rand 2 = 0 then Workloads.Kv.Set key else Workloads.Kv.Get key in
+            let payload = Workloads.Kv.encode_request req srv.Workloads.Kv.value_size in
+            let handle () =
+              Workloads.Kv.handle_request srv req;
+              match (req, log_fd) with
+              | Workloads.Kv.Set _, Some fd ->
+                  incr sets;
+                  if !sets mod fsync_every = 0 then begin
+                    ignore
+                      (Virt.Backend.syscall_exn b srv.Workloads.Kv.task
+                         (Kernel_model.Syscall.Write { fd; data = Bytes.create 64 }));
+                    ignore
+                      (Virt.Backend.syscall_exn b srv.Workloads.Kv.task
+                         (Kernel_model.Syscall.Fsync fd))
+                  end
+              | _ -> ()
+            in
+            (payload, handle)
+          in
+          (srv.Workloads.Kv.sock_id, encode)
+      | Web_static | Web_httpd ->
+          let kind =
+            match workload with
+            | Web_httpd -> Workloads.Webserver.Httpd
+            | _ -> Workloads.Webserver.Nginx_static
+          in
+          let srv = Workloads.Webserver.create b kind in
+          let encode () = (Bytes.create 512, fun () -> Workloads.Webserver.serve_one srv) in
+          (srv.Workloads.Webserver.sock_id, encode)
+    in
+    Loop.set_rx_socket att sid;
+    {
+      backend = b;
+      kernel;
+      loop;
+      att;
+      client;
+      encode;
+      inflight = Queue.create ();
+      awaiting = Queue.create ();
+      sent = 0;
+      completed = 0;
+      detached = false;
+    }
+
+  let send t ~ts =
+    if t.detached then invalid_arg "Serve.Lane.send: lane is detached";
+    let payload, handle = t.encode () in
+    Switch.forward (Loop.switch t.loop) ~src:t.client payload;
+    Queue.add (ts, handle) t.inflight;
+    t.sent <- t.sent + 1
+
+  (* Deliver inbound frames, then run (or hand off) one handler per
+     frame.  The arrival timestamp moves to the awaiting queue at
+     hand-off time, not completion time: replies only materialize after
+     the handler runs and handlers execute FIFO, so reap still matches
+     them in order — and [inflight] keeps counting a request whose
+     handler sits on a scheduler queue (scale-in must see it). *)
+  let pump ?submit t =
+    let n = Loop.pump t.att in
+    for _ = 1 to n do
+      match Queue.take_opt t.inflight with
+      | None -> ()
+      | Some (ts, handle) -> (
+          Queue.add ts t.awaiting;
+          match submit with Some s -> s handle | None -> handle ())
+    done;
+    n
+
+  (* Reap completed replies, returning their arrival timestamps. *)
+  let reap t =
+    let port_replies = List.length (Switch.drain t.client) in
+    let sid = Option.value t.att.Loop.rx_sid ~default:(-1) in
+    let wire_replies = drain_wire t.kernel sid in
+    let replies =
+      if Kernel_model.Kernel.virtualized_io t.kernel then port_replies else wire_replies
+    in
+    let out = ref [] in
+    for _ = 1 to replies do
+      match Queue.take_opt t.awaiting with
+      | None -> ()
+      | Some ts ->
+          t.completed <- t.completed + 1;
+          out := ts :: !out
+    done;
+    List.rev !out
+
+  let inflight t = Queue.length t.inflight + Queue.length t.awaiting
+  let sent t = t.sent
+  let completed t = t.completed
+  let backend t = t.backend
+  let attachment t = t.att
+
+  (* Unplug from the event loop and unlink both switch ports, so frames
+     sent at a dead lane are counted as drops instead of queueing
+     forever.  The backend itself is the caller's to destroy. *)
+  let detach t =
+    if not t.detached then begin
+      t.detached <- true;
+      Loop.detach t.loop t.att;
+      t.att.Loop.port.Switch.link <- None;
+      t.client.Switch.link <- None
+    end
+end
+
 type config = {
   backend : string;  (** runc | hvm | pvm | cki *)
   nested : bool;
@@ -37,6 +222,8 @@ type config = {
   workload : workload;
   use_sched : bool;  (** multiplex guest work over Vcpu_sched slices (cki only) *)
   fsync_every : int;  (** kv: log-append + fsync every Nth SET; 0 = off *)
+  cpu_quota : (float * float) option;
+      (** cgroup-style (period_ns, budget_ns) cap per vCPU; needs [use_sched] *)
 }
 
 let default_config =
@@ -51,6 +238,7 @@ let default_config =
     workload = Kv_memcached;
     use_sched = false;
     fsync_every = 0;
+    cpu_quota = None;
   }
 
 type result = {
@@ -81,50 +269,8 @@ type result = {
   r_domains : int;  (** 0 = shared-machine sequential path *)
 }
 
-(* Exit-accounting events per backend: every guest/host privilege
-   crossing the paper counts in Figure 16. *)
-let exit_events = function
-  | "runc" -> []
-  | "hvm" -> [ "vmexit"; "vmexit_nested" ]
-  | "pvm" -> [ "pvm_hypercall"; "pvm_hypercall_nst" ]
-  | "cki" -> [ "cki_hypercall"; "cki_irq_exit" ]
-  | other -> invalid_arg ("Serve: unknown backend " ^ other)
-
-let count_events clock names =
-  List.fold_left (fun acc e -> acc + Hw.Clock.occurrences clock e) 0 names
-
-(* One container's lane through the harness. *)
-type chan = {
-  backend : Virt.Backend.t;
-  kernel : Kernel_model.Kernel.t;
-  att : Loop.attachment;
-  client : Switch.port;
-  encode : unit -> Bytes.t * (unit -> unit);
-      (** draw the next request: wire payload + its handler *)
-  mutable next_arrival : float;
-  mutable sent : int;
-  inflight : (float * (unit -> unit)) Queue.t;  (** delivered-but-unhandled *)
-  awaiting : float Queue.t;  (** handled, reply in transit: arrival ts *)
-}
-
-(* Drain the wire-side client peer of socket [sid], returning the
-   number of frames taken. For virtio backends the switch port carries
-   the measured reply path and the wire copy is discarded; for runc
-   (no rings) the wire IS the reply path. *)
-let drain_wire kernel sid =
-  match Kernel_model.Kernel.socket_endpoint kernel sid with
-  | None -> 0
-  | Some ep -> (
-      match ep.Kernel_model.Net.peer with
-      | None -> 0
-      | Some pid ->
-          let peer = Kernel_model.Net.get (Kernel_model.Kernel.wire kernel) pid in
-          let n = ref 0 in
-          while Kernel_model.Net.pending peer > 0 do
-            ignore (Kernel_model.Net.recv peer);
-            incr n
-          done;
-          !n)
+(* One container's slot in the load schedule. *)
+type chan = { lane : Lane.t; mutable next_arrival : float }
 
 let default_seed = 0x2545F4914F6CDD1D
 
@@ -169,75 +315,15 @@ let run_core ?(seed = default_seed) cfg =
   in
   let mk_chan i =
     let b = mk_backend () in
-    let kernel = b.Virt.Backend.kernel in
-    Kernel_model.Kernel.configure_io ~queue_size:cfg.queue_size ~window:cfg.window kernel;
     let name = Printf.sprintf "%s%d" cfg.backend i in
-    let att = Loop.attach loop kernel ~name in
-    let client = Switch.port switch ~name:(name ^ "-client") in
-    Switch.connect switch att.Loop.port client;
-    let sid, encode =
-      match cfg.workload with
-      | Kv_memcached | Kv_redis ->
-          let flavor =
-            match cfg.workload with Kv_redis -> Workloads.Kv.Redis | _ -> Workloads.Kv.Memcached
-          in
-          let srv = Workloads.Kv.create_server b flavor in
-          let log_fd =
-            if cfg.fsync_every > 0 then
-              match
-                Virt.Backend.syscall_exn b srv.Workloads.Kv.task
-                  (Kernel_model.Syscall.Open { path = "/kv.log"; create = true })
-              with
-              | Kernel_model.Syscall.Rint fd -> Some fd
-              | _ -> None
-            else None
-          in
-          let sets = ref 0 in
-          let encode () =
-            let key = rand 100_000 in
-            let req =
-              if rand 2 = 0 then Workloads.Kv.Set key else Workloads.Kv.Get key
-            in
-            let payload = Workloads.Kv.encode_request req srv.Workloads.Kv.value_size in
-            let handle () =
-              Workloads.Kv.handle_request srv req;
-              match (req, log_fd) with
-              | Workloads.Kv.Set _, Some fd ->
-                  incr sets;
-                  if !sets mod cfg.fsync_every = 0 then begin
-                    ignore
-                      (Virt.Backend.syscall_exn b srv.Workloads.Kv.task
-                         (Kernel_model.Syscall.Write { fd; data = Bytes.create 64 }));
-                    ignore
-                      (Virt.Backend.syscall_exn b srv.Workloads.Kv.task
-                         (Kernel_model.Syscall.Fsync fd))
-                  end
-              | _ -> ()
-            in
-            (payload, handle)
-          in
-          (srv.Workloads.Kv.sock_id, encode)
-      | Web_static | Web_httpd ->
-          let kind =
-            match cfg.workload with Web_httpd -> Workloads.Webserver.Httpd | _ -> Workloads.Webserver.Nginx_static
-          in
-          let srv = Workloads.Webserver.create b kind in
-          let encode () =
-            (Bytes.create 512, fun () -> Workloads.Webserver.serve_one srv)
-          in
-          (srv.Workloads.Webserver.sock_id, encode)
+    let lane =
+      Lane.attach ~loop ~workload:cfg.workload ~fsync_every:cfg.fsync_every
+        ~queue_size:cfg.queue_size ~window:cfg.window ~rand ~name b
     in
-    Loop.set_rx_socket att sid;
     {
-      backend = b;
-      kernel;
-      att;
-      client;
-      encode;
-      next_arrival = Hw.Clock.now clock +. (float_of_int i *. (interval /. float_of_int cfg.containers));
-      sent = 0;
-      inflight = Queue.create ();
-      awaiting = Queue.create ();
+      lane;
+      next_arrival =
+        Hw.Clock.now clock +. (float_of_int i *. (interval /. float_of_int cfg.containers));
     }
   in
   let chans = List.init cfg.containers mk_chan in
@@ -248,17 +334,22 @@ let run_core ?(seed = default_seed) cfg =
       match (host, !cki_containers) with
       | Some h, cs when cs <> [] ->
           let s = Cki.Vcpu_sched.create h in
-          let entries = List.map (fun c -> Cki.Vcpu_sched.add_vcpu s c ~vcpu:0) (List.rev cs) in
+          let entries =
+            List.map
+              (fun c -> Cki.Vcpu_sched.add_vcpu ?quota:cfg.cpu_quota s c ~vcpu:0)
+              (List.rev cs)
+          in
           Some (s, entries)
       | _ -> None
     else None
   in
-  let sched_entry_of =
+  let sched_submit_of =
     match sched with
     | None -> fun _ -> None
     | Some (_, entries) ->
         let arr = Array.of_list entries in
-        fun i -> if i < Array.length arr then Some arr.(i) else None
+        fun i ->
+          if i < Array.length arr then Some (Cki.Vcpu_sched.submit_work arr.(i)) else None
   in
   let total = cfg.containers * cfg.requests_per_container in
   let latencies = ref [] in
@@ -282,11 +373,10 @@ let run_core ?(seed = default_seed) cfg =
        time has passed, timestamping for end-to-end latency. *)
     List.iter
       (fun c ->
-        while c.sent < cfg.requests_per_container && c.next_arrival <= Hw.Clock.now clock do
-          let payload, handle = c.encode () in
-          Switch.forward switch ~src:c.client payload;
-          Queue.add (c.next_arrival, handle) c.inflight;
-          c.sent <- c.sent + 1;
+        while
+          Lane.sent c.lane < cfg.requests_per_container && c.next_arrival <= Hw.Clock.now clock
+        do
+          Lane.send c.lane ~ts:c.next_arrival;
           c.next_arrival <- c.next_arrival +. interval;
           progressed := true
         done)
@@ -294,22 +384,7 @@ let run_core ?(seed = default_seed) cfg =
     (* Pump inbound frames into each guest, then run the guest-side
        handlers (directly, or as scheduled vCPU work). *)
     List.iteri
-      (fun i c ->
-        let n = Loop.pump c.att in
-        if n > 0 then progressed := true;
-        for _ = 1 to n do
-          match Queue.take_opt c.inflight with
-          | None -> ()
-          | Some (ts, handle) -> (
-              match sched_entry_of i with
-              | Some entry ->
-                  Cki.Vcpu_sched.submit_work entry (fun () ->
-                      handle ();
-                      Queue.add ts c.awaiting)
-              | None ->
-                  handle ();
-                  Queue.add ts c.awaiting)
-        done)
+      (fun i c -> if Lane.pump ?submit:(sched_submit_of i) c.lane > 0 then progressed := true)
       chans;
     (match sched with
     | Some (s, _) ->
@@ -324,27 +399,19 @@ let run_core ?(seed = default_seed) cfg =
        so the wire peer is the reply path. *)
     List.iter
       (fun c ->
-        let port_replies = List.length (Switch.drain c.client) in
-        let sid = Option.value c.att.Loop.rx_sid ~default:(-1) in
-        let wire_replies = drain_wire c.kernel sid in
-        let replies =
-          if Kernel_model.Kernel.virtualized_io c.kernel then port_replies else wire_replies
-        in
-        for _ = 1 to replies do
-          match Queue.take_opt c.awaiting with
-          | None -> ()
-          | Some ts ->
-              latencies := (Hw.Clock.now clock -. ts) :: !latencies;
-              incr completed;
-              progressed := true
-        done)
+        List.iter
+          (fun ts ->
+            latencies := (Hw.Clock.now clock -. ts) :: !latencies;
+            incr completed;
+            progressed := true)
+          (Lane.reap c.lane))
       chans;
     (* Idle: advance the clock to the next scheduled arrival. *)
     if not !progressed then begin
       let next =
         List.fold_left
           (fun acc c ->
-            if c.sent < cfg.requests_per_container then min acc c.next_arrival else acc)
+            if Lane.sent c.lane < cfg.requests_per_container then min acc c.next_arrival else acc)
           infinity chans
       in
       if next < infinity && next > Hw.Clock.now clock then
@@ -360,7 +427,7 @@ let run_core ?(seed = default_seed) cfg =
   let sum f =
     List.fold_left
       (fun acc c ->
-        match Kernel_model.Kernel.io_devices c.kernel with
+        match Kernel_model.Kernel.io_devices c.lane.Lane.kernel with
         | None -> acc
         | Some (tx, rx, blk) -> acc + f tx + f rx + f blk)
       0 chans
@@ -369,10 +436,14 @@ let run_core ?(seed = default_seed) cfg =
   let suppressed_kicks = sum Kernel_model.Virtio.suppressed_kicks in
   let interrupts = sum Kernel_model.Virtio.interrupts in
   let suppressed_interrupts = sum Kernel_model.Virtio.suppressed_interrupts in
-  let tx_stalls = List.fold_left (fun acc c -> acc + Kernel_model.Kernel.tx_stalls c.kernel) 0 chans in
+  let tx_stalls =
+    List.fold_left (fun acc c -> acc + Kernel_model.Kernel.tx_stalls c.lane.Lane.kernel) 0 chans
+  in
   let lat_us = List.map (fun ns -> ns /. 1e3) !latencies in
   let fl = float_of_int total in
-  let label = match chans with c :: _ -> c.backend.Virt.Backend.label | [] -> cfg.backend in
+  let label =
+    match chans with c :: _ -> c.lane.Lane.backend.Virt.Backend.label | [] -> cfg.backend
+  in
   let result =
     {
       r_backend = cfg.backend;

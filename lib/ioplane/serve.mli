@@ -14,6 +14,57 @@ val equal_workload : workload -> workload -> bool
 val workload_name : workload -> string
 val workload_of_string : string -> workload option
 
+(** One container's lane through the I/O plane: a backend wired to the
+    event loop, its client switch port, a workload-specific request
+    encoder, and completion bookkeeping.  The serve harness drives a
+    fixed set of lanes; {!Fleet.Controller} attaches and detaches them
+    dynamically as it scales. *)
+module Lane : sig
+  type t
+
+  val attach :
+    loop:Loop.t ->
+    workload:workload ->
+    ?fsync_every:int ->
+    ?queue_size:int ->
+    ?window:int ->
+    rand:(int -> int) ->
+    name:string ->
+    Virt.Backend.t ->
+    t
+  (** Wire a backend into [loop]: configure its virtio queues, attach
+      it, create + connect the client port, and boot the workload
+      server.  [rand] draws request keys — the caller owns the RNG, so
+      determinism policy (shared vs per-lane streams) stays with the
+      harness. *)
+
+  val send : t -> ts:float -> unit
+  (** Inject one request, stamped with its scheduled arrival time [ts]
+      for end-to-end latency accounting. *)
+
+  val pump : ?submit:((unit -> unit) -> unit) -> t -> int
+  (** Deliver inbound frames into the guest and run one request handler
+      per frame — inline, or handed to [submit] (vCPU-scheduler work
+      injection). Returns frames delivered. *)
+
+  val reap : t -> float list
+  (** Drain completed replies; returns their arrival timestamps
+      (end-to-end latency = now - ts). *)
+
+  val inflight : t -> int
+  (** Requests sent but not yet reaped. *)
+
+  val sent : t -> int
+  val completed : t -> int
+  val backend : t -> Virt.Backend.t
+  val attachment : t -> Loop.attachment
+
+  val detach : t -> unit
+  (** Unplug from the event loop and unlink both switch ports (frames
+      aimed at a dead lane count as switch drops). Idempotent; the
+      backend itself is the caller's to destroy. *)
+end
+
 type config = {
   backend : string;  (** runc | hvm | pvm | cki *)
   nested : bool;
@@ -25,6 +76,9 @@ type config = {
   workload : workload;
   use_sched : bool;  (** multiplex guest work over Vcpu_sched slices (cki only) *)
   fsync_every : int;  (** kv: log-append + fsync every Nth SET; 0 = off *)
+  cpu_quota : (float * float) option;
+      (** cgroup-style (period_ns, budget_ns) runtime cap applied to
+          every vCPU; only meaningful with [use_sched] on cki. *)
 }
 
 val default_config : config

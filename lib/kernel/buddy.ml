@@ -1,12 +1,16 @@
-(* Binary-buddy allocator over a contiguous physical-frame range.
+(* Binary-buddy allocator over one or more physical-frame zones.
 
    This is the guest kernel's memory manager in CKI: the host delegates
-   contiguous hPA segments and the guest buddy allocator hands frames
-   straight to the page-fault handler — no gPA indirection. *)
+   hPA segments and the guest buddy allocator hands frames straight to
+   the page-fault handler — no gPA indirection.  Under scatter
+   delegation a container receives several discontiguous chunks; each
+   becomes a zone with its own free lists (a block never spans zones),
+   and allocation tries zones in delegation order, so the allocation
+   stream stays deterministic. *)
 
 let max_order = 11 (* 2^11 frames = 8 MiB blocks *)
 
-type t = {
+type zone = {
   base : Hw.Addr.pfn;
   frames : int;
   free_lists : Hw.Addr.pfn list array;  (** index = order *)
@@ -14,11 +18,13 @@ type t = {
   mutable free_count : int;
 }
 
+type t = { zones : zone array }
+
 exception Out_of_memory
 
-let create ~base ~frames =
+let make_zone ~base ~frames =
   if frames <= 0 then invalid_arg "Buddy.create";
-  let t =
+  let z =
     {
       base;
       frames;
@@ -39,34 +45,49 @@ let create ~base ~frames =
         in
         fit max_order
       in
-      t.free_lists.(order) <- pfn :: t.free_lists.(order);
+      z.free_lists.(order) <- pfn :: z.free_lists.(order);
       seed (pfn + (1 lsl order)) (remaining - (1 lsl order))
     end
   in
   seed base frames;
-  t
+  z
 
-let total_frames t = t.frames
-let free_frames t = t.free_count
+let create_zones ~segments =
+  if segments = [] then invalid_arg "Buddy.create_zones";
+  { zones = Array.of_list (List.map (fun (base, frames) -> make_zone ~base ~frames) segments) }
 
-let buddy_of t pfn order = ((pfn - t.base) lxor (1 lsl order)) + t.base
+let create ~base ~frames = create_zones ~segments:[ (base, frames) ]
 
-(* Allocate a block of 2^order frames; returns its first pfn. *)
-let alloc_order t order =
-  if order < 0 || order > max_order then invalid_arg "Buddy.alloc_order";
+let total_frames t = Array.fold_left (fun acc z -> acc + z.frames) 0 t.zones
+
+let free_frames t = Array.fold_left (fun acc z -> acc + z.free_count) 0 t.zones
+
+let zone_of t pfn =
+  let found = ref None in
+  Array.iter
+    (fun z -> if !found = None && pfn >= z.base && pfn < z.base + z.frames then found := Some z)
+    t.zones;
+  match !found with
+  | Some z -> z
+  | None -> invalid_arg "Buddy: frame outside every zone"
+
+let buddy_of z pfn order = ((pfn - z.base) lxor (1 lsl order)) + z.base
+
+(* Allocate a block of 2^order frames from [z]; returns its first pfn. *)
+let zone_alloc_order z order =
   let rec take o =
     if o > max_order then raise Out_of_memory
     else
-      match t.free_lists.(o) with
+      match z.free_lists.(o) with
       | [] -> take (o + 1)
       | pfn :: rest ->
-          t.free_lists.(o) <- rest;
+          z.free_lists.(o) <- rest;
           (* Split back down to the requested order. *)
           let rec split cur =
             if cur > order then begin
               let half = cur - 1 in
               let upper = pfn + (1 lsl half) in
-              t.free_lists.(half) <- upper :: t.free_lists.(half);
+              z.free_lists.(half) <- upper :: z.free_lists.(half);
               split half
             end
           in
@@ -74,38 +95,53 @@ let alloc_order t order =
           pfn
   in
   let pfn = take order in
-  Hashtbl.replace t.order_of pfn order;
-  t.free_count <- t.free_count - (1 lsl order);
+  Hashtbl.replace z.order_of pfn order;
+  z.free_count <- z.free_count - (1 lsl order);
   pfn
+
+let alloc_order t order =
+  if order < 0 || order > max_order then invalid_arg "Buddy.alloc_order";
+  let rec try_zone i =
+    if i >= Array.length t.zones then raise Out_of_memory
+    else match zone_alloc_order t.zones.(i) order with
+      | pfn -> pfn
+      | exception Out_of_memory -> try_zone (i + 1)
+  in
+  try_zone 0
 
 let alloc t = alloc_order t 0
 
 (* Allocate a 2 MiB-aligned 512-frame block for a huge-page mapping. *)
 let alloc_huge t = alloc_order t 9
 
-let rec coalesce t pfn order =
-  if order >= max_order then t.free_lists.(order) <- pfn :: t.free_lists.(order)
+let rec coalesce z pfn order =
+  if order >= max_order then z.free_lists.(order) <- pfn :: z.free_lists.(order)
   else
-    let b = buddy_of t pfn order in
-    if b >= t.base && b < t.base + t.frames && List.mem b t.free_lists.(order) then begin
-      t.free_lists.(order) <- List.filter (fun p -> p <> b) t.free_lists.(order);
-      coalesce t (min pfn b) (order + 1)
+    let b = buddy_of z pfn order in
+    if b >= z.base && b < z.base + z.frames && List.mem b z.free_lists.(order) then begin
+      z.free_lists.(order) <- List.filter (fun p -> p <> b) z.free_lists.(order);
+      coalesce z (min pfn b) (order + 1)
     end
-    else t.free_lists.(order) <- pfn :: t.free_lists.(order)
+    else z.free_lists.(order) <- pfn :: z.free_lists.(order)
 
-let base t = t.base
+let base t = t.zones.(0).base
+
+let zones t = Array.to_list (Array.map (fun z -> (z.base, z.frames)) t.zones)
 
 (* Allocated block heads with orders, sorted — the allocator's logical
    state for snapshot capture (free lists are derived on restore). *)
 let allocated_blocks t =
-  Hashtbl.fold (fun pfn order acc -> (pfn, order) :: acc) t.order_of []
+  Array.fold_left
+    (fun acc z -> Hashtbl.fold (fun pfn order l -> (pfn, order) :: l) z.order_of acc)
+    [] t.zones
   |> List.sort compare
 
 (* Snapshot restore: carve the specific block [pfn, pfn + 2^order) out
    of a fresh allocator, reproducing the captured allocation pattern. *)
 let reserve t pfn order =
   if order < 0 || order > max_order then invalid_arg "Buddy.reserve";
-  if (pfn - t.base) land ((1 lsl order) - 1) <> 0 then
+  let z = zone_of t pfn in
+  if (pfn - z.base) land ((1 lsl order) - 1) <> 0 then
     invalid_arg "Buddy.reserve: misaligned block";
   (* Find the free block containing [pfn] — it must sit at order >= the
      requested one for the reservation to be satisfiable. *)
@@ -117,13 +153,13 @@ let reserve t pfn order =
           List.iter
             (fun b -> if !found = None && b <= pfn && pfn < b + (1 lsl o) then found := Some (b, o))
             lst)
-      t.free_lists;
+      z.free_lists;
     match !found with
     | Some bo -> bo
     | None -> invalid_arg "Buddy.reserve: block not free"
   in
   let b0, o0 = containing in
-  t.free_lists.(o0) <- List.filter (fun p -> p <> b0) t.free_lists.(o0);
+  z.free_lists.(o0) <- List.filter (fun p -> p <> b0) z.free_lists.(o0);
   (* Split down, keeping the halves that do not contain [pfn] free. *)
   let rec split b o =
     if o = order then assert (b = pfn)
@@ -131,38 +167,42 @@ let reserve t pfn order =
       let half = o - 1 in
       let upper = b + (1 lsl half) in
       if pfn < upper then begin
-        t.free_lists.(half) <- upper :: t.free_lists.(half);
+        z.free_lists.(half) <- upper :: z.free_lists.(half);
         split b half
       end
       else begin
-        t.free_lists.(half) <- b :: t.free_lists.(half);
+        z.free_lists.(half) <- b :: z.free_lists.(half);
         split upper half
       end
     end
   in
   split b0 o0;
-  Hashtbl.replace t.order_of pfn order;
-  t.free_count <- t.free_count - (1 lsl order)
+  Hashtbl.replace z.order_of pfn order;
+  z.free_count <- z.free_count - (1 lsl order)
 
 let free t pfn =
-  match Hashtbl.find_opt t.order_of pfn with
+  let z = zone_of t pfn in
+  match Hashtbl.find_opt z.order_of pfn with
   | None -> invalid_arg "Buddy.free: not an allocated block head"
   | Some order ->
-      Hashtbl.remove t.order_of pfn;
-      t.free_count <- t.free_count + (1 lsl order);
-      coalesce t pfn order
+      Hashtbl.remove z.order_of pfn;
+      z.free_count <- z.free_count + (1 lsl order);
+      coalesce z pfn order
 
 (* Sanity invariant for tests: free-list accounting matches free_count
-   and every free block is inside the range. *)
+   and every free block is inside its zone. *)
 let check_invariants t =
-  let counted = ref 0 in
-  Array.iteri
-    (fun order lst ->
-      List.iter
-        (fun pfn ->
-          if pfn < t.base || pfn + (1 lsl order) > t.base + t.frames then
-            failwith "Buddy: free block out of range";
-          counted := !counted + (1 lsl order))
-        lst)
-    t.free_lists;
-  !counted = t.free_count
+  Array.for_all
+    (fun z ->
+      let counted = ref 0 in
+      Array.iteri
+        (fun order lst ->
+          List.iter
+            (fun pfn ->
+              if pfn < z.base || pfn + (1 lsl order) > z.base + z.frames then
+                failwith "Buddy: free block out of range";
+              counted := !counted + (1 lsl order))
+            lst)
+        z.free_lists;
+      !counted = z.free_count)
+    t.zones

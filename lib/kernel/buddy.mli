@@ -1,8 +1,11 @@
-(** Binary-buddy allocator over a contiguous physical-frame range.
+(** Binary-buddy allocator over one or more physical-frame zones.
 
     This is the CKI guest kernel's memory manager: the host delegates
-    contiguous hPA segments and the buddy hands frames straight to the
-    page-fault handler — no gPA indirection (Section 4.3). *)
+    hPA segments and the buddy hands frames straight to the page-fault
+    handler — no gPA indirection (Section 4.3).  Under scatter
+    delegation each discontiguous chunk becomes its own zone; blocks
+    never span zones and allocation tries zones in delegation order,
+    keeping the allocation stream deterministic. *)
 
 val max_order : int
 
@@ -11,6 +14,11 @@ type t
 exception Out_of_memory
 
 val create : base:Hw.Addr.pfn -> frames:int -> t
+(** Single-zone allocator (a contiguous delegation). *)
+
+val create_zones : segments:(Hw.Addr.pfn * int) list -> t
+(** One zone per delegated [(base, frames)] chunk, in list order. *)
+
 val total_frames : t -> int
 val free_frames : t -> int
 
@@ -28,6 +36,10 @@ val free : t -> Hw.Addr.pfn -> unit
     with free buddies. @raise Invalid_argument on double free. *)
 
 val base : t -> Hw.Addr.pfn
+(** First zone's base frame. *)
+
+val zones : t -> (Hw.Addr.pfn * int) list
+(** The zones as [(base, frames)], in delegation order. *)
 
 val allocated_blocks : t -> (Hw.Addr.pfn * int) list
 (** Allocated block heads with their orders, sorted — the allocator's

@@ -204,11 +204,25 @@ let capture_full (c : Cki.Container.t) : (Image.t * map, error) result =
           })
         c.cpus
     in
-    (* Guest kernel state. *)
-    let buddy_base = Kernel_model.Buddy.base c.buddy in
+    (* Guest kernel state.  Buddy blocks are recorded as *linearized*
+       offsets — segment sizes summed in order, plus the offset inside
+       the owning segment — so a scatter-delegated (multi-zone) buddy
+       round-trips without changing the image format: with a single
+       segment the linear offset is exactly [pfn - base].  Blocks never
+       span zones, so each block lives in exactly one segment. *)
+    let seg_starts =
+      let acc = Array.make (Array.length seg_sizes) 0 in
+      for i = 1 to Array.length seg_sizes - 1 do
+        acc.(i) <- acc.(i - 1) + seg_sizes.(i - 1)
+      done;
+      acc
+    in
     let buddy_blocks =
       Kernel_model.Buddy.allocated_blocks c.buddy
-      |> List.map (fun (pfn, order) -> (pfn - buddy_base, order))
+      |> List.map (fun (pfn, order) ->
+             match seg_of pfn with
+             | Some (seg, off) -> (seg_starts.(seg) + off, order)
+             | None -> raise (Fail (Foreign_frame pfn)))
     in
     let fs = Kernel_model.Kernel.fs kernel in
     let ino_path : (int, string) Hashtbl.t = Hashtbl.create 64 in

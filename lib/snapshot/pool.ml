@@ -3,12 +3,31 @@
    A thin instantiation of [Cki.Host.Warm_pool] (which is polymorphic
    so lib/core does not depend on lib/snapshot) at [Template.t]:
    templates are immutable once frozen, so the pool rotates them and
-   every spawn_fast is a warm clone. *)
+   every spawn_fast is a warm clone.  The stats triple (hits / misses /
+   refills) is what the fleet bench gates on: a scale-out burst that
+   outruns the low-water refill shows up as misses — cold template
+   builds on the spawn path — instead of disappearing into the
+   latency. *)
 
 type t = { pool : Template.t Cki.Host.Warm_pool.t }
 
-let create ~target ~make = { pool = Cki.Host.Warm_pool.create ~target ~make }
+type stats = { hits : int; misses : int; refills : int; size : int; served : int }
+
+let create ?low_water ~target ~make () =
+  { pool = Cki.Host.Warm_pool.create ?low_water ~target ~make () }
+
 let spawn_fast ?verify t = Template.clone ?verify (Cki.Host.Warm_pool.take t.pool)
+let refill_low_water t = Cki.Host.Warm_pool.refill_low_water t.pool
+let drain t = Cki.Host.Warm_pool.drain t.pool
 let size t = Cki.Host.Warm_pool.size t.pool
 let prebooted t = Cki.Host.Warm_pool.prebooted t.pool
 let served t = Cki.Host.Warm_pool.served t.pool
+
+let stats t =
+  {
+    hits = Cki.Host.Warm_pool.hits t.pool;
+    misses = Cki.Host.Warm_pool.misses t.pool;
+    refills = Cki.Host.Warm_pool.refills t.pool;
+    size = Cki.Host.Warm_pool.size t.pool;
+    served = Cki.Host.Warm_pool.served t.pool;
+  }

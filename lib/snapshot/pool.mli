@@ -3,16 +3,31 @@
     {!Cki.Host.Warm_pool} instantiated at {!Template.t}: [create]
     pre-boots and freezes [target] templates; {!spawn_fast} rotates to
     the next one and warm-clones it, paying neither guest-kernel boot
-    nor full-image copy. *)
+    nor full-image copy.  A take from a ready template is a hit; a take
+    from an empty pool builds a template inline (the cold path) and is
+    counted as a miss — {!refill_low_water} is the background hook that
+    keeps bursts ahead of that cliff. *)
 
 type t
 
-val create : target:int -> make:(unit -> Template.t) -> t
+type stats = { hits : int; misses : int; refills : int; size : int; served : int }
+
+val create : ?low_water:int -> target:int -> make:(unit -> Template.t) -> unit -> t
 (** [make] typically boots a container, runs its init workload, then
-    {!Template.create}s it; it must raise on failure. *)
+    {!Template.create}s it; it must raise on failure. [low_water]
+    (default 0) arms {!refill_low_water}. *)
 
 val spawn_fast : ?verify:bool -> t -> (Cki.Container.t, Template.error) result
+
+val refill_low_water : t -> int
+(** Top the pool back to target when below the low-water mark; returns
+    the number of templates built. Call from the host's idle path. *)
+
+val drain : t -> int
+(** Drop every ready template (eviction); the next spawn is a miss
+    unless {!refill_low_water} runs first. *)
 
 val size : t -> int
 val prebooted : t -> int
 val served : t -> int
+val stats : t -> stats

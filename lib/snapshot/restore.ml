@@ -32,8 +32,8 @@ let span lvl = 1 lsl (Hw.Addr.page_shift + (9 * (lvl - 1)))
 (* [share]: (template segment bases, template aux frames) — present in
    clone mode, where the template lives on the same machine. *)
 let rebuild ?(env = Virt.Env.Bare_metal) ~verify ~share (host : Cki.Host.t) (image : Image.t) =
-  if Array.length image.Image.segments <> 1 then
-    raise (Fail (Unsupported_image "multi-segment images are not supported"));
+  if Array.length image.Image.segments = 0 then
+    raise (Fail (Unsupported_image "image has no segments"));
   let machine = Cki.Host.machine host in
   let mem = Hw.Machine.mem machine in
   let clock = Hw.Machine.clock machine in
@@ -150,15 +150,33 @@ let rebuild ?(env = Virt.Env.Bare_metal) ~verify ~share (host : Cki.Host.t) (ima
         i_tables;
       }
   in
-  (* Guest buddy allocator: same block layout, relocated base.  A full
-     restore pays the copy of every allocated frame's contents; a clone
-     shares them and pays per-PTE above. *)
+  (* Guest buddy allocator: same block layout, relocated bases — one
+     zone per delegated segment.  Block offsets in the image are
+     linearized over the segment sizes (see capture); map each back to
+     its owning segment before reserving.  A full restore pays the copy
+     of every allocated frame's contents; a clone shares them and pays
+     per-PTE above. *)
   let buddy =
-    Kernel_model.Buddy.create ~base:bases.(0) ~frames:image.Image.segments.(0)
+    Kernel_model.Buddy.create_zones
+      ~segments:(Array.to_list (Array.mapi (fun i base -> (base, image.Image.segments.(i))) bases))
+  in
+  let seg_starts =
+    let acc = Array.make (Array.length image.Image.segments) 0 in
+    for i = 1 to Array.length acc - 1 do
+      acc.(i) <- acc.(i - 1) + image.Image.segments.(i - 1)
+    done;
+    acc
+  in
+  let pfn_of_linear off =
+    let seg = ref 0 in
+    Array.iteri
+      (fun i start -> if off >= start && off < start + image.Image.segments.(i) then seg := i)
+      seg_starts;
+    bases.(!seg) + (off - seg_starts.(!seg))
   in
   List.iter
     (fun (off, order) ->
-      Kernel_model.Buddy.reserve buddy (bases.(0) + off) order;
+      Kernel_model.Buddy.reserve buddy (pfn_of_linear off) order;
       if share = None then
         Hw.Clock.charge clock "snapshot_restore_frame"
           (float_of_int (1 lsl order) *. Hw.Cost.restore_frame))

@@ -39,6 +39,10 @@ let default_arch =
     ("snapshot", [ "hw"; "kernel_model"; "virt"; "cki"; "analysis"; "report" ]);
     ("modelcheck", [ "hw"; "kernel_model"; "virt"; "cki"; "report" ]);
     ("ioplane", [ "hw"; "kernel_model"; "virt"; "cki"; "workloads"; "report" ]);
+    (* The fleet controller composes the serving plane: it may see the
+       I/O plane, snapshots and the verifier, and nothing may see it. *)
+    ("fleet",
+      [ "hw"; "kernel_model"; "virt"; "cki"; "workloads"; "ioplane"; "snapshot"; "analysis"; "report" ]);
     ("srclint", [ "report" ]);
   ]
 

@@ -153,8 +153,9 @@ let test_explore_after_warm_clone () =
   let c0 = Cki.Container.create ~cfg:snap_cfg host in
   let fresh = Modelcheck.Explore.run ~config:small_config c0 in
   let pool =
-    Snapshot.Pool.create ~target:1 ~make:(fun () ->
-        template_exn (Cki.Container.create ~cfg:snap_cfg host))
+    Snapshot.Pool.create ~target:1
+      ~make:(fun () -> template_exn (Cki.Container.create ~cfg:snap_cfg host))
+      ()
   in
   let clone =
     match Snapshot.Pool.spawn_fast pool with

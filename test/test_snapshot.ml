@@ -233,7 +233,7 @@ let test_warm_pool_counts () =
     incr boots;
     template_exn (boot_ready host)
   in
-  let pool = Snapshot.Pool.create ~target:2 ~make in
+  let pool = Snapshot.Pool.create ~target:2 ~make () in
   check int "pool pre-boots to target" 2 (Snapshot.Pool.prebooted pool);
   check int "pool size" 2 (Snapshot.Pool.size pool);
   check int "no clones served yet" 0 (Snapshot.Pool.served pool);
