@@ -1,4 +1,4 @@
-.PHONY: all build test check examples ci fmt mutants lint-src bench-json validate-bench clean
+.PHONY: all build test check examples ci fmt mutants lint-src race-check bench-json validate-bench clean
 
 all: build
 
@@ -11,9 +11,9 @@ test: build
 # Full verification: build, test suite, then every example scenario and
 # the demo subcommands under --check (whole-machine invariant scan +
 # probe-trace lint; any finding is a non-zero exit), the static source
-# audit, and a bounded model-check of the privilege state space (exit 2
-# on counterexample).
-check: test examples lint-src
+# audit, the domain-race sanitizer, and a bounded model-check of the
+# privilege state space (exit 2 on counterexample).
+check: test examples lint-src race-check
 	dune exec bin/cki_demo.exe -- micro --check
 	dune exec bin/cki_demo.exe -- attack --check
 	dune exec bin/cki_demo.exe -- kv --check --clients 8
@@ -33,10 +33,19 @@ mutants: build
 lint-src: build
 	dune exec bin/cki_demo.exe -- lint-src
 
+# Domain-race sanitizer: the static interprocedural sharing analysis
+# over every Domain.spawn closure plus a sharded serve run under the
+# dynamic cross-domain access checker (including the --inject
+# self-test, run separately because its seeded race makes race-check
+# itself exit 2).  Exit 2 on any finding.
+race-check: build
+	dune exec bin/cki_demo.exe -- race-check
+	dune exec bin/cki_demo.exe -- race-check --inject; test $$? -eq 2
+
 # Regenerate every checked-in benchmark artifact (BENCH_*.json) in the
 # repo root.  Each bench writes its file into the current directory.
 bench-json: build
-	dune exec bench/main.exe -- --json snapshot modelcheck ioplane fleet srclint engine micro
+	dune exec bench/main.exe -- --json snapshot modelcheck ioplane fleet srclint racecheck engine micro
 	$(MAKE) validate-bench
 
 # Parse every checked-in BENCH_*.json with the in-repo JSON parser

@@ -13,8 +13,9 @@
    --json additionally writes machine-readable results for the benches
    that support it: snapshot -> BENCH_snapshot.json, modelcheck ->
    BENCH_modelcheck.json, micro -> BENCH_micro.json, srclint ->
-   BENCH_srclint.json, ioplane -> BENCH_ioplane.json, engine ->
-   BENCH_engine.json, fleet -> BENCH_fleet.json.
+   BENCH_srclint.json, racecheck -> BENCH_racecheck.json, ioplane ->
+   BENCH_ioplane.json, engine -> BENCH_engine.json, fleet ->
+   BENCH_fleet.json.
 
    `validate` parses every BENCH_*.json in the current directory with
    Report.Json.parse and fails if any is malformed — the CI check that
@@ -101,6 +102,9 @@ let () =
     | "srclint" ->
         Srclint_bench.run ~json ();
         true
+    | "racecheck" ->
+        Racecheck_bench.run ~json ();
+        true
     | "engine" ->
         Engine_bench.run ~json ();
         true
@@ -121,8 +125,8 @@ let () =
       List.iter (fun (name, _) -> print_endline name) Experiments.all;
       List.iter print_endline
         [
-          "snapshot"; "modelcheck"; "ioplane"; "fleet"; "micro"; "srclint"; "engine"; "simbench";
-          "validate";
+          "snapshot"; "modelcheck"; "ioplane"; "fleet"; "micro"; "srclint"; "racecheck"; "engine";
+          "simbench"; "validate";
         ]
   | [] ->
       Printf.printf "CKI (EuroSys'25) reproduction — full benchmark run\n";
@@ -137,6 +141,7 @@ let () =
       Ioplane_bench.run ~json ();
       Fleet_bench.run ~json ();
       Srclint_bench.run ~json ();
+      Racecheck_bench.run ~json ();
       Engine_bench.run ~json ();
       if json then micro_json ();
       Simbench.run ()

@@ -327,6 +327,99 @@ let lint_src root baseline write_baseline =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Domain-race sanitizer                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The static escape-analysis rule family race-check gates on. *)
+let escape_family = [ "domain-escape"; "stale-annotation"; "undocumented-annotation" ]
+
+let race_check root inject =
+  let root =
+    match root with
+    | Some r -> r
+    | None -> (
+        match Srclint.find_root () with
+        | Some r -> r
+        | None ->
+            Printf.eprintf "race-check: no repo root (dune-project + lib/) above %s\n"
+              (Sys.getcwd ());
+            exit 1)
+  in
+  (* Static half: the interprocedural sharing analysis, gated on the
+     same baseline file as lint-src. *)
+  let scan = Srclint.scan ~root () in
+  let fam =
+    List.filter
+      (fun (f : Srclint.Rules.finding) -> List.mem f.Srclint.Rules.rule escape_family)
+      scan.Srclint.findings
+  in
+  let entries =
+    match Srclint.Baseline.load (Filename.concat root "srclint.baseline") with
+    | Ok e -> e
+    | Error msg ->
+        Printf.eprintf "race-check: %s\n" msg;
+        exit 1
+  in
+  let chk = Srclint.check ~baseline:entries fam in
+  Report.Findings.print ~title:"race-check: static escape analysis"
+    (Srclint.to_findings chk.Srclint.fresh);
+  Printf.printf "static: %d file(s) scanned, %d escape-family finding(s) (%d baselined)\n"
+    scan.Srclint.stats.Srclint.files (List.length chk.Srclint.fresh)
+    (List.length chk.Srclint.baselined);
+  (* Dynamic half: run the sharded engines with Phys_mem tracing on and
+     race-check the merged replay. *)
+  let run_traced label f =
+    Hw.Probe.set_mem_trace true;
+    let report =
+      Fun.protect
+        ~finally:(fun () -> Hw.Probe.set_mem_trace false)
+        (fun () ->
+          let _, trace = Analysis.Trace.with_recorder ~capacity:400_000 f in
+          Analysis.Racecheck.of_trace trace)
+    in
+    Format.printf "dynamic (%s): %a@." label Analysis.Racecheck.pp_report report;
+    Report.Findings.print
+      ~title:(Printf.sprintf "race-check: dynamic (%s)" label)
+      (Analysis.Racecheck.findings report);
+    report
+  in
+  let cfg =
+    {
+      Ioplane.Serve.default_config with
+      Ioplane.Serve.backend = "cki";
+      containers = 4;
+      requests_per_container = 25;
+    }
+  in
+  let serve_report =
+    run_traced "sharded serve, 2 domains" (fun () -> ignore (Ioplane.Serve.run ~domains:2 cfg))
+  in
+  let inject_report =
+    if not inject then None
+    else begin
+      (* Self-test: two lanes on two domains mutate one shared machine;
+         the checker MUST flag it, or it is broken. *)
+      let mem = Hw.Phys_mem.create ~frames:64 in
+      Some
+        (run_traced "injected shared machine" (fun () ->
+             Hw.Domain_shard.run ~domains:2 ~lanes:2 (fun i ->
+                 Hw.Phys_mem.set_owner mem 3 (Hw.Phys_mem.Container i))))
+    end
+  in
+  (match inject_report with
+  | Some r when Analysis.Racecheck.is_clean r ->
+      Printf.eprintf "race-check: injected cross-domain race was NOT caught — checker broken\n";
+      exit 1
+  | Some _ -> Printf.printf "inject: seeded cross-domain race caught, as it must be\n"
+  | None -> ());
+  let dynamic_bad =
+    (not (Analysis.Racecheck.is_clean serve_report))
+    || match inject_report with Some r -> not (Analysis.Racecheck.is_clean r) | None -> false
+  in
+  if chk.Srclint.fresh <> [] || dynamic_bad then exit 2;
+  Printf.printf "race-check: clean (static + dynamic)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Model checking                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -540,6 +633,32 @@ let lint_src_cmd =
           the baseline.")
     Term.(const lint_src $ root $ baseline $ write)
 
+let race_check_cmd =
+  let root =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "root" ] ~doc:"Repo root to audit (default: discovered from the current directory).")
+  in
+  let inject =
+    Arg.(
+      value & flag
+      & info [ "inject" ]
+          ~doc:
+            "Also run the checker self-test: two lanes on two domains deliberately mutate one \
+             shared machine; the seeded race must be caught (and makes the command exit 2).")
+  in
+  Cmd.v
+    (Cmd.info "race-check" ~exits
+       ~doc:
+         "Run the two-layer domain-race sanitizer.  Static: the interprocedural sharing \
+          analysis over every Domain.spawn closure (domain-escape, stale-annotation, \
+          undocumented-annotation), gated on srclint.baseline.  Dynamic: a bounded sharded \
+          serve run with Phys_mem access tracing on, its merged replay checked for \
+          cross-domain accesses with no spawn/join happens-before edge.  Exits 2 on any \
+          finding.")
+    Term.(const race_check $ root $ inject)
+
 let model_check_cmd =
   let depth =
     Arg.(
@@ -586,4 +705,5 @@ let () =
             clone_cmd;
             model_check_cmd;
             lint_src_cmd;
+            race_check_cmd;
           ]))

@@ -15,6 +15,7 @@
 module Trace = Trace
 module Invariants = Invariants
 module Lint = Lint
+module Racecheck = Racecheck
 
 type result = {
   violations : Invariants.violation list;

@@ -339,35 +339,11 @@ let run ?(domains = 0) (cfg : config) =
   let tenants = Array.of_list cfg.tenants in
   let lanes = Array.length tenants in
   let outs = Array.make lanes None in
-  let want_trace = Hw.Probe.active () in
-  let rings =
-    Array.init lanes (fun _ -> if want_trace then Some (Hw.Probe.ring_create ()) else None)
-  in
-  let run_lane i =
-    (match rings.(i) with Some r -> Hw.Probe.set_ring r | None -> ());
-    Fun.protect
-      ~finally:(fun () -> if rings.(i) <> None then Hw.Probe.clear_sink ())
-      (fun () -> outs.(i) <- Some (run_tenant cfg tenants.(i) ~seed:(tenant_seed cfg.seed i)))
-  in
-  Hw.Probe.suspended (fun () ->
-      if domains <= 1 then
-        for i = 0 to lanes - 1 do
-          run_lane i
-        done
-      else begin
-        let nworkers = min domains lanes in
-        let workers =
-          Array.init nworkers (fun d ->
-              Domain.spawn (fun () ->
-                  let i = ref d in
-                  while !i < lanes do
-                    run_lane !i;
-                    i := !i + domains
-                  done))
-        in
-        Array.iter Domain.join workers
-      end);
-  Array.iter (function Some r -> Hw.Probe.ring_iter r Hw.Probe.emit | None -> ()) rings;
+  (* Spawn/join/ring plumbing lives in [Hw.Domain_shard] (the repo's
+     one blessed spawn site); each tenant writes only its own [outs]
+     slot. *)
+  Hw.Domain_shard.run ~domains ~lanes (fun i ->
+      outs.(i) <- Some (run_tenant cfg tenants.(i) ~seed:(tenant_seed cfg.seed i)));
   let out i = match outs.(i) with Some o -> o | None -> failwith "Fleet: tenant did not run" in
   (* Simulated makespan under the fixed tenant->domain assignment. *)
   let eff_domains = if domains <= 1 then 1 else domains in

@@ -91,6 +91,7 @@ let full_word = 0xFFFFFFFF
 type arena = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 type t = {
+  mem_id : int;  (** process-unique instance id; tags trace events *)
   total_frames : int;
   owner_of : int array;  (** encoded owner per frame *)
   kind_of : int array;  (** encoded kind per frame *)
@@ -113,6 +114,21 @@ exception Out_of_memory
 
 let entries = Addr.entries_per_table
 
+(* Two lanes of the sharded engine each own a [Phys_mem] with the same
+   pfn range, so a pfn alone does not identify an object — the race
+   checker keys accesses on [(mem_id, pfn)].  A global atomic counter
+   (the sanctioned cross-domain primitive) hands out the ids. *)
+let next_mem_id = Atomic.make 0
+
+(* Access-trace hooks: one flag read when tracing is off.  Guarded on
+   [Probe.mem_trace] (the global opt-in) before the per-domain sink
+   check so ordinary runs pay a single atomic load per accessor. *)
+let[@inline] trace_read t pfn =
+  if Probe.mem_trace () then Probe.emit_mem_read ~mem:t.mem_id ~pfn
+
+let[@inline] trace_write t pfn =
+  if Probe.mem_trace () then Probe.emit_mem_write ~mem:t.mem_id ~pfn
+
 let word_mask t w =
   let base = w lsl word_shift in
   let valid = min bits_per_word (t.total_frames - base) in
@@ -123,6 +139,7 @@ let create ~frames:n =
   let nwords = (n + bits_per_word - 1) / bits_per_word in
   let t =
     {
+      mem_id = Atomic.fetch_and_add next_mem_id 1;
       total_frames = n;
       owner_of = Array.make n 0;
       kind_of = Array.make n 0;
@@ -153,6 +170,7 @@ let create ~frames:n =
   t
 
 let total_frames t = t.total_frames
+let mem_id t = t.mem_id
 
 let check_pfn t pfn =
   if pfn < 0 || pfn >= t.total_frames then invalid_arg "Phys_mem.frame: pfn out of range"
@@ -281,6 +299,7 @@ let find_free_from t start =
 (* Claim one free frame: metadata reset + bitmap/count update.  Any
    stale table slot from the frame's previous life is recycled. *)
 let claim t pfn ~owner ~kind =
+  trace_write t pfn;
   t.owner_of.(pfn) <- encode_owner owner;
   t.kind_of.(pfn) <- encode_kind kind;
   t.refcnt.(pfn) <- 0;
@@ -344,6 +363,7 @@ let alloc_contiguous t ~owner ~kind ~count =
 
 let free t pfn =
   check_pfn t pfn;
+  trace_write t pfn;
   if t.owner_of.(pfn) = 0 then invalid_arg "Phys_mem.free: double free";
   if Bytes.get t.shared pfn <> '\000' && t.refcnt.(pfn) > 0 then
     invalid_arg "Phys_mem.free: shared frame still referenced";
@@ -362,18 +382,22 @@ let free_range t ~base ~count =
 
 let set_kind t pfn kind =
   check_pfn t pfn;
+  trace_write t pfn;
   t.kind_of.(pfn) <- encode_kind kind
 
 let set_owner t pfn owner =
   check_pfn t pfn;
+  trace_write t pfn;
   t.owner_of.(pfn) <- encode_owner owner
 
 let incr_ref t pfn =
   check_pfn t pfn;
+  trace_write t pfn;
   t.refcnt.(pfn) <- t.refcnt.(pfn) + 1
 
 let decr_ref t pfn =
   check_pfn t pfn;
+  trace_write t pfn;
   if t.refcnt.(pfn) <= 0 then invalid_arg "Phys_mem.decr_ref: refcount underflow";
   t.refcnt.(pfn) <- t.refcnt.(pfn) - 1
 
@@ -383,6 +407,7 @@ let refcount t pfn =
 
 let set_shared_ro t pfn v =
   check_pfn t pfn;
+  trace_write t pfn;
   Bytes.set t.shared pfn (if v then '\001' else '\000')
 
 let is_shared_ro t pfn =
@@ -394,18 +419,21 @@ let is_shared_ro t pfn =
    zeros, exactly what a fresh slot would hold). *)
 let table_entries t pfn =
   check_pfn t pfn;
+  trace_read t pfn;
   let s = ensure_slot t pfn in
   Array.init entries (fun i -> Bigarray.Array1.get t.arena ((s * entries) + i))
 
 let read_entry t ~pfn ~index =
   check_pfn t pfn;
   if index < 0 || index >= entries then invalid_arg "Phys_mem.read_entry";
+  trace_read t pfn;
   let s = t.table_slot.(pfn) in
   if s < 0 then 0L else Bigarray.Array1.get t.arena ((s * entries) + index)
 
 let write_entry t ~pfn ~index value =
   check_pfn t pfn;
   if index < 0 || index >= entries then invalid_arg "Phys_mem.write_entry";
+  trace_write t pfn;
   let s = ensure_slot t pfn in
   Bigarray.Array1.set t.arena ((s * entries) + index) value;
   if index < t.dirty_lo.(s) then t.dirty_lo.(s) <- index;
@@ -413,6 +441,7 @@ let write_entry t ~pfn ~index value =
 
 let clear_table t pfn =
   check_pfn t pfn;
+  trace_write t pfn;
   let s = t.table_slot.(pfn) in
   if s >= 0 then scrub_slot t s
 

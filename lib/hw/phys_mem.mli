@@ -42,6 +42,11 @@ exception Out_of_memory
 
 val create : frames:int -> t
 val total_frames : t -> int
+
+val mem_id : t -> int
+(** Process-unique instance id. Two shards own distinct [Phys_mem]
+    values covering the same pfn range, so the race checker keys
+    accesses on [(mem_id, pfn)] rather than the bare pfn. *)
 val owner : t -> Addr.pfn -> owner
 val kind : t -> Addr.pfn -> kind
 val is_free : t -> Addr.pfn -> bool

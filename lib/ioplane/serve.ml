@@ -497,41 +497,11 @@ let run_sharded ~domains cfg =
   let lanes = cfg.containers in
   let lane_cfg = { cfg with containers = 1 } in
   let outs = Array.make lanes None in
-  let want_trace = Hw.Probe.active () in
-  let rings =
-    Array.init lanes (fun _ -> if want_trace then Some (Hw.Probe.ring_create ()) else None)
-  in
-  let run_lane i =
-    (match rings.(i) with Some r -> Hw.Probe.set_ring r | None -> ());
-    Fun.protect
-      ~finally:(fun () -> if rings.(i) <> None then Hw.Probe.clear_sink ())
-      (fun () -> outs.(i) <- Some (run_core ~seed:(lane_seed i) lane_cfg))
-  in
-  (* [suspended] parks the caller's sink while lanes run (an inline
-     lane on this domain installs its own ring) and restores it for
-     the replay below. *)
-  Hw.Probe.suspended (fun () ->
-      if domains = 1 then
-        for i = 0 to lanes - 1 do
-          run_lane i
-        done
-      else begin
-        let nworkers = min domains lanes in
-        let workers =
-          Array.init nworkers (fun d ->
-              Domain.spawn (fun () ->
-                  let i = ref d in
-                  while !i < lanes do
-                    run_lane !i;
-                    i := !i + domains
-                  done))
-        in
-        Array.iter Domain.join workers
-      end);
-  (* Replay the per-lane probe streams into the caller's sink in lane
-     order, so an attached recorder sees one deterministic merged
-     trace. *)
-  Array.iter (function Some r -> Hw.Probe.ring_iter r Hw.Probe.emit | None -> ()) rings;
+  (* Spawn/join/ring plumbing lives in [Hw.Domain_shard] (the repo's
+     one blessed spawn site); each lane writes only its own [outs]
+     slot. *)
+  Hw.Domain_shard.run ~domains ~lanes (fun i ->
+      outs.(i) <- Some (run_core ~seed:(lane_seed i) lane_cfg));
   let out i = match outs.(i) with Some o -> o | None -> failwith "Serve: lane did not run" in
   let sum_i f =
     let acc = ref 0 in

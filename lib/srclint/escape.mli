@@ -1,0 +1,40 @@
+(** Interprocedural domain-escape analysis: the static half of the
+    domain-race sanitizer.
+
+    Finds every [Domain.spawn] site in the scanned tree and computes
+    the mutable values — refs, mutable record fields, arrays,
+    Bigarrays, hashtables; local [let]s and module-toplevel bindings
+    alike — reachable from each spawned closure, following local
+    helper functions and calls into toplevel functions of any scanned
+    library (def/use + call-graph fixpoint over parsetrees).
+
+    Sanctioned, non-escaping forms: [Atomic.t] (never classified
+    mutable), bindings annotated [@@domain_shared "reason"], locals
+    whose every direct closure use sits under [Mutex.protect], and a
+    local handed wholesale to a single non-replicated spawn (a
+    transfer).  [@@single_domain] does {e not} sanction an escape.
+
+    Also maintains the [@@domain_shared] annotation ledger so
+    {!Rules} can report stale and undocumented annotations. *)
+
+type escape = {
+  e_file : string;  (** file containing the spawn site *)
+  e_line : int;  (** line of the [Domain.spawn] application *)
+  e_name : string;  (** the escaping binding *)
+  e_kind : string;  (** what makes it mutable, e.g. ["ref"] *)
+  e_def_file : string;
+  e_def_line : int;
+  e_via : string option;  (** the call/path the value was reached through *)
+}
+
+type shared_annot = {
+  s_file : string;
+  s_name : string;
+  s_line : int;
+  s_reason : (string, unit) result;  (** [Error ()]: payload missing or empty *)
+  mutable s_used : bool;  (** did the annotation sanction anything? *)
+}
+
+type result = { escapes : escape list; shared_annots : shared_annot list }
+
+val analyze : Source.tree -> result

@@ -24,6 +24,11 @@ type t = {
   toplevel_mutables : toplevel_mutable list;
   undocumented_annots : (string * int) list;
       (** [@@single_domain] without a reason string *)
+  single_domain_annots : (string * int * bool) list;
+      (** every toplevel [@@single_domain] annotation as
+          (binding, line, suppresses): [suppresses] is true when the
+          binding really is module-toplevel mutable state, i.e. the
+          annotation earns its keep; a [false] entry is stale. *)
   gate_enters : int list;  (** lines constructing [Probe.Gate_enter] *)
   gate_exits : int list;
   obj_magics : int list;
@@ -212,6 +217,14 @@ let creators =
     ("Array", "create_float");
     ("Array", "make_matrix");
     ("Weak", "create");
+    (* Bigarrays (the PTE arena, bench buffers): created through the
+       per-dimension submodules, matched on the last two path
+       components so both [Bigarray.Array1.create] and a post-[open]
+       [Array1.create] are caught. *)
+    ("Array1", "create");
+    ("Array2", "create");
+    ("Array3", "create");
+    ("Genarray", "create");
   ]
 
 let rec mutable_kind record_types e =
@@ -246,10 +259,10 @@ let binding_name vb =
   in
   of_pat vb.pvb_pat
 
-let single_domain_reason vb =
+let annotation_reason name vb =
   List.find_map
     (fun attr ->
-      if attr.attr_name.Location.txt <> "single_domain" then None
+      if attr.attr_name.Location.txt <> name then None
       else
         match attr.attr_payload with
         | PStr
@@ -265,9 +278,11 @@ let single_domain_reason vb =
         | _ -> Some (Error ()))
     vb.pvb_attributes
 
+let single_domain_reason vb = annotation_reason "single_domain" vb
+
 let toplevel_inventory str =
   let record_types = record_types_of str in
-  let mutables = ref [] and undocumented = ref [] in
+  let mutables = ref [] and undocumented = ref [] and annots = ref [] in
   let rec item si =
     match si.pstr_desc with
     | Pstr_value (_, vbs) ->
@@ -278,8 +293,13 @@ let toplevel_inventory str =
             | Some name -> (
                 let line = line_of vb.pvb_loc in
                 match single_domain_reason vb with
-                | Some (Ok _) -> ()
-                | Some (Error ()) -> undocumented := (name, line) :: !undocumented
+                | Some reason ->
+                    (* The annotation suppresses the domain-safety rule
+                       whether or not its reason parses, but only a
+                       binding that is actually mutable justifies it. *)
+                    let suppresses = mutable_kind record_types vb.pvb_expr <> None in
+                    annots := (name, line, suppresses) :: !annots;
+                    if reason = Error () then undocumented := (name, line) :: !undocumented
                 | None -> (
                     match mutable_kind record_types vb.pvb_expr with
                     | Some kind ->
@@ -296,18 +316,19 @@ let toplevel_inventory str =
     | _ -> ()
   in
   List.iter item str;
-  (List.rev !mutables, List.rev !undocumented)
+  (List.rev !mutables, List.rev !undocumented, List.rev !annots)
 
 (* ------------------------------------------------------------------ *)
 
 let extract (str : Parsetree.structure) : t =
   let acc = iterate_structure str in
-  let toplevel_mutables, undocumented_annots = toplevel_inventory str in
+  let toplevel_mutables, undocumented_annots, single_domain_annots = toplevel_inventory str in
   {
     module_refs = List.rev acc.refs;
     sink_refs = List.rev acc.sinks;
     toplevel_mutables;
     undocumented_annots;
+    single_domain_annots;
     gate_enters = List.rev acc.enters;
     gate_exits = List.rev acc.exits;
     obj_magics = List.rev acc.magics;

@@ -44,6 +44,14 @@ let default_arch =
     ("fleet",
       [ "hw"; "kernel_model"; "virt"; "cki"; "workloads"; "ioplane"; "snapshot"; "analysis"; "report" ]);
     ("srclint", [ "report" ]);
+    (* Executable scope: the demo driver and the bench harness sit on
+       top of the whole stack — any library, no library sees them. *)
+    ( "bin",
+      [ "report"; "hw"; "kernel_model"; "virt"; "cki"; "workloads"; "analysis"; "snapshot";
+        "modelcheck"; "ioplane"; "fleet"; "srclint" ] );
+    ( "bench",
+      [ "report"; "hw"; "kernel_model"; "virt"; "cki"; "workloads"; "analysis"; "snapshot";
+        "modelcheck"; "ioplane"; "fleet"; "srclint" ] );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -128,8 +136,13 @@ let evaluate ?(arch = default_arch) ?(tcb = default_tcb) (tree : Source.tree) : 
                ("compiler front end rejected this file: " ^ msg))
       | None -> ());
       let facts = Facts.extract file.Source.ast in
+      (* Executable scope ([bin/], [bench/]) gets the layering family
+         (parse-error, layering, undeclared-dep) plus the tree-wide
+         escape analysis below; the lib-only families — trusted-sink,
+         domain-safety, hygiene — stay scoped to lib/ code. *)
+      let exe = lib.Source.lib_exe in
       (* (1) trusted-sink *)
-      if not tcb_file then
+      if (not tcb_file) && not exe then
         List.iter
           (fun (sink, line) ->
             emit
@@ -164,25 +177,35 @@ let evaluate ?(arch = default_arch) ?(tcb = default_tcb) (tree : Source.tree) : 
                         tname lib.Source.lib_dune)))
         facts.Facts.module_refs;
       (* (3) domain-safety *)
-      List.iter
-        (fun (tm : Facts.toplevel_mutable) ->
-          emit
-            (mk "domain-safety" warn path tm.Facts.tm_line tm.Facts.tm_name
-               (Printf.sprintf
-                  "module-toplevel mutable state (%s) is a race hazard for domain \
-                   sharding; thread it through machine/host state, use Atomic.t, or \
-                   document it with [@@single_domain \"reason\"]"
-                  tm.Facts.tm_kind)))
-        facts.Facts.toplevel_mutables;
-      List.iter
-        (fun (name, line) ->
-          emit
-            (mk "undocumented-annotation" warn path line name
-               "[@@single_domain] carries no reason string; say why single-domain use is \
-                sound"))
-        facts.Facts.undocumented_annots;
+      if not exe then begin
+        List.iter
+          (fun (tm : Facts.toplevel_mutable) ->
+            emit
+              (mk "domain-safety" warn path tm.Facts.tm_line tm.Facts.tm_name
+                 (Printf.sprintf
+                    "module-toplevel mutable state (%s) is a race hazard for domain \
+                     sharding; thread it through machine/host state, use Atomic.t, or \
+                     document it with [@@single_domain \"reason\"]"
+                    tm.Facts.tm_kind)))
+          facts.Facts.toplevel_mutables;
+        List.iter
+          (fun (name, line) ->
+            emit
+              (mk "undocumented-annotation" warn path line name
+                 "[@@single_domain] carries no reason string; say why single-domain use \
+                  is sound"))
+          facts.Facts.undocumented_annots;
+        List.iter
+          (fun (name, line, suppresses) ->
+            if not suppresses then
+              emit
+                (mk "stale-annotation" warn path line name
+                   "[@@single_domain] on a binding that is not module-toplevel mutable \
+                    state; the annotation suppresses nothing — remove it"))
+          facts.Facts.single_domain_annots
+      end;
       (* (4) hygiene *)
-      if not file.Source.has_mli then
+      if (not file.Source.has_mli) && not exe then
         emit
           (mk "missing-mli" warn path 1 (Filename.basename path)
              "no interface file; every lib/ module must state its API in a .mli");
@@ -202,7 +225,7 @@ let evaluate ?(arch = default_arch) ?(tcb = default_tcb) (tree : Source.tree) : 
       end;
       let n_enter = List.length facts.Facts.gate_enters
       and n_exit = List.length facts.Facts.gate_exits in
-      if n_enter <> n_exit then
+      if n_enter <> n_exit && not exe then
         emit
           (mk "probe-pairing" warn path
              (match (facts.Facts.gate_enters, facts.Facts.gate_exits) with
@@ -214,6 +237,34 @@ let evaluate ?(arch = default_arch) ?(tcb = default_tcb) (tree : Source.tree) : 
                  entry emission needs a matching exit emission"
                 n_enter n_exit)))
     tree.Source.files;
+  (* (5) domain-escape: the tree-wide interprocedural sharing analysis,
+     plus the [@@domain_shared] annotation ledger it maintains. *)
+  let esc = Escape.analyze tree in
+  List.iter
+    (fun (e : Escape.escape) ->
+      emit
+        (mk "domain-escape" crit e.Escape.e_file e.Escape.e_line e.Escape.e_name
+           (Printf.sprintf
+              "mutable value %s (%s, defined at %s:%d) is reachable from this \
+               Domain.spawn closure%s and escapes its spawning domain; make it Atomic, \
+               guard every closure use with Mutex.protect, thread it through per-lane \
+               state, or bless the sharing with [@@domain_shared \"reason\"]"
+              e.Escape.e_name e.Escape.e_kind e.Escape.e_def_file e.Escape.e_def_line
+              (match e.Escape.e_via with Some v -> " via " ^ v | None -> ""))))
+    esc.Escape.escapes;
+  List.iter
+    (fun (a : Escape.shared_annot) ->
+      if not a.Escape.s_used then
+        emit
+          (mk "stale-annotation" warn a.Escape.s_file a.Escape.s_line a.Escape.s_name
+             "[@@domain_shared] never sanctions a spawn capture of this binding; the \
+              annotation is stale — remove it");
+      if a.Escape.s_reason = Error () then
+        emit
+          (mk "undocumented-annotation" warn a.Escape.s_file a.Escape.s_line a.Escape.s_name
+             "[@@domain_shared] carries no reason string; say why cross-domain sharing \
+              of this value is sound"))
+    esc.Escape.shared_annots;
   (* Deduplicate identical (rule, file, symbol, line) — e.g. a module
      referenced from several syntactic positions on one line — then
      order by file and line for stable output. *)

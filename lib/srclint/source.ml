@@ -7,9 +7,14 @@
 type lib = {
   lib_name : string;  (** dune library name, e.g. ["kernel_model"] *)
   lib_dir : string;  (** repo-relative, e.g. ["lib/kernel"] *)
-  lib_module : string;  (** wrapped root module, e.g. ["Kernel_model"] *)
+  lib_module : string;  (** wrapped root module, e.g. ["Kernel_model"];
+                            [""] for executable scope *)
   lib_deps : string list;  (** the dune [(libraries ...)] field, verbatim *)
   lib_dune : string;  (** repo-relative path of the dune file *)
+  lib_exe : bool;
+      (** executable scope ([bin/], [bench/]): a pseudo-library carrying
+          the dune [(executable ...)] stanzas of one directory, scanned
+          for the layering/escape rule families only *)
 }
 
 type file = {
@@ -71,6 +76,20 @@ let library_of_stanza = function
       Option.map (fun n -> (n, !deps)) !name
   | _ -> None
 
+(* Pull the [(libraries ...)] out of an [(executable ...)] /
+   [(executables ...)] stanza. *)
+let executable_libraries_of_stanza = function
+  | Sexp.List (Sexp.Atom ("executable" | "executables") :: fields) ->
+      let deps = ref None in
+      List.iter
+        (function
+          | Sexp.List (Sexp.Atom "libraries" :: ds) ->
+              deps := Some (List.filter_map atom_of ds)
+          | _ -> ())
+        fields;
+      Some (Option.value ~default:[] !deps)
+  | _ -> None
+
 let module_of_lib_name name = String.capitalize_ascii name
 
 (* ------------------------------------------------------------------ *)
@@ -107,6 +126,12 @@ let read_file path =
 
 let sorted_dir path = Sys.readdir path |> Array.to_list |> List.sort String.compare
 
+(* Executable directories scanned as pseudo-libraries: parse-error,
+   layering and domain-escape apply there too (the demo driver and the
+   bench harness reference every library), while the lib-only families
+   (missing-mli, domain-safety, TCB hygiene) do not. *)
+let exe_dirs = [ "bin"; "bench" ]
+
 let load_tree ~root =
   let libdir = Filename.concat root "lib" in
   let libs =
@@ -124,10 +149,34 @@ let load_tree ~root =
                      lib_module = module_of_lib_name name;
                      lib_deps = deps;
                      lib_dune = "lib/" ^ entry ^ "/dune";
+                     lib_exe = false;
                    }
              | None -> None
            else None)
   in
+  let exes =
+    exe_dirs
+    |> List.filter_map (fun entry ->
+           let dir = Filename.concat root entry in
+           let dune = Filename.concat dir "dune" in
+           if (try Sys.is_directory dir with Sys_error _ -> false) && Sys.file_exists dune then
+             match List.filter_map executable_libraries_of_stanza (Sexp.parse_file dune) with
+             | [] -> None
+             | per_stanza ->
+                 Some
+                   {
+                     lib_name = entry;
+                     lib_dir = entry;
+                     (* No wrapped root module: nothing references an
+                        executable, so this must never match a path head. *)
+                     lib_module = "";
+                     lib_deps = List.concat per_stanza |> List.sort_uniq String.compare;
+                     lib_dune = entry ^ "/dune";
+                     lib_exe = true;
+                   }
+           else None)
+  in
+  let libs = libs @ exes in
   let files =
     List.concat_map
       (fun lib ->

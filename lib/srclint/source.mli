@@ -1,13 +1,18 @@
 (** Source-tree model: repo-root discovery, dune-library enumeration
     and compiler-libs parsing of every implementation file under
-    [lib/]. *)
+    [lib/], plus the executable scopes [bin/] and [bench/]. *)
 
 type lib = {
   lib_name : string;  (** dune library name, e.g. ["kernel_model"] *)
   lib_dir : string;  (** repo-relative, e.g. ["lib/kernel"] *)
-  lib_module : string;  (** wrapped root module, e.g. ["Kernel_model"] *)
+  lib_module : string;  (** wrapped root module, e.g. ["Kernel_model"];
+                            [""] for executable scope *)
   lib_deps : string list;  (** the dune [(libraries ...)] field, verbatim *)
   lib_dune : string;  (** repo-relative path of the dune file *)
+  lib_exe : bool;
+      (** executable scope ([bin/], [bench/]): a pseudo-library carrying
+          the dune [(executable ...)] stanzas of one directory, scanned
+          for the layering/escape rule families only *)
 }
 
 type file = {
@@ -29,6 +34,7 @@ val find_root : ?from:string -> unit -> string option
 val find_root_exn : ?from:string -> unit -> string
 
 val load_tree : root:string -> tree
-(** Enumerate every [(library ...)] under [root]/lib and parse each of
-    its [.ml] files.  Parse failures are captured per-file, not
-    raised. *)
+(** Enumerate every [(library ...)] under [root]/lib — plus the
+    [bin/] and [bench/] executable scopes as pseudo-libraries — and
+    parse each of their [.ml] files.  Parse failures are captured
+    per-file, not raised. *)

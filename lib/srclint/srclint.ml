@@ -16,6 +16,7 @@
 
 module Source = Source
 module Facts = Facts
+module Escape = Escape
 module Rules = Rules
 module Baseline = Baseline
 

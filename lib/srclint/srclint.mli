@@ -1,15 +1,19 @@
 (** Self-hosted source auditor: a static-analysis pass over the repo's
     own OCaml sources enforcing TCB write-sink containment, the
     inter-library layering DAG, a domain-safety (race) inventory of
-    module-toplevel mutable state, and source hygiene.
+    module-toplevel mutable state, the interprocedural domain-escape
+    rule (which mutable values leak into [Domain.spawn] closures), and
+    source hygiene.
 
-    {!Source} models the tree (dune libraries + compiler-libs ASTs);
-    {!Facts} extracts per-file facts; {!Rules} evaluates the four rule
-    families; {!Baseline} matches findings against the checked-in list
-    of accepted exceptions. *)
+    {!Source} models the tree (dune libraries, the [bin/]/[bench/]
+    executable scopes, and compiler-libs ASTs); {!Facts} extracts
+    per-file facts; {!Escape} runs the tree-wide sharing analysis;
+    {!Rules} evaluates the rule families; {!Baseline} matches findings
+    against the checked-in list of accepted exceptions. *)
 
 module Source = Source
 module Facts = Facts
+module Escape = Escape
 module Rules = Rules
 module Baseline = Baseline
 
@@ -24,7 +28,9 @@ type stats = {
 type scan = { tree : Source.tree; findings : Rules.finding list; stats : stats }
 
 val scan : ?arch:Rules.arch -> ?tcb:string list -> root:string -> unit -> scan
-(** Parse and audit every [lib/**/*.ml] under [root]. *)
+(** Parse and audit every [lib/**/*.ml] — plus [bin/*.ml] and
+    [bench/*.ml] for the layering and escape families — under
+    [root]. *)
 
 val find_root : ?from:string -> unit -> string option
 val find_root_exn : ?from:string -> unit -> string

@@ -266,9 +266,26 @@ let merged_clock containers =
 let test_sharding_deterministic () =
   let run domains = Ioplane.Serve.run ~domains serve_cfg in
   let r1, c1 = run 1 in
-  let r2, c2 = run 2 in
+  (* The 2-domain run executes under the dynamic cross-domain checker:
+     Phys_mem tracing on, the merged replay race-checked — lanes own
+     disjoint machines, so the trace must come back clean, and the
+     instrumentation must not perturb the merged result. *)
+  let (r2, c2), racecheck =
+    Hw.Probe.set_mem_trace true;
+    Fun.protect
+      ~finally:(fun () -> Hw.Probe.set_mem_trace false)
+      (fun () ->
+        let out, trace =
+          (* Room for every lane ring (65536 events each) plus edges,
+             so the replayed spawn edges aren't dropped. *)
+          Analysis.Trace.with_recorder ~capacity:300_000 (fun () -> run 2)
+        in
+        (out, Analysis.Racecheck.of_trace trace))
+  in
   let r4, c4 = run 4 in
   check int "domains recorded" 1 r1.Ioplane.Serve.r_domains;
+  check bool "sharded lanes trace racecheck-clean" true (Analysis.Racecheck.is_clean racecheck);
+  check bool "racecheck saw traced accesses" true (racecheck.Analysis.Racecheck.accesses > 0);
   (* Everything except the parallel-makespan accounting (wall time,
      throughput, domain count) must be bit-identical. *)
   let norm r =

@@ -439,12 +439,30 @@ let test_controller_deterministic_across_domains () =
     }
   in
   let r0 = Fleet.Controller.run ~domains:0 cfg in
-  let r2 = Fleet.Controller.run ~domains:2 cfg in
+  (* The 2-domain run executes under the dynamic cross-domain checker:
+     Phys_mem tracing on, the merged replay race-checked, and the
+     instrumentation must not perturb the merged tenant results. *)
+  let r2, racecheck =
+    Hw.Probe.set_mem_trace true;
+    Fun.protect
+      ~finally:(fun () -> Hw.Probe.set_mem_trace false)
+      (fun () ->
+        let r2, trace =
+          (* Room for every lane ring (65536 events each) plus edges,
+             so the replayed spawn edges aren't dropped. *)
+          Analysis.Trace.with_recorder ~capacity:300_000 (fun () ->
+              Fleet.Controller.run ~domains:2 cfg)
+        in
+        (r2, Analysis.Racecheck.of_trace trace))
+  in
   let r3 = Fleet.Controller.run ~domains:3 cfg in
   check bool "tenant results identical, 0 vs 2 domains" true
     (r0.Fleet.Controller.tenants = r2.Fleet.Controller.tenants);
   check bool "tenant results identical, 2 vs 3 domains" true
-    (r2.Fleet.Controller.tenants = r3.Fleet.Controller.tenants)
+    (r2.Fleet.Controller.tenants = r3.Fleet.Controller.tenants);
+  check bool "sharded tenants trace racecheck-clean" true
+    (Analysis.Racecheck.is_clean racecheck);
+  check bool "racecheck saw the spawn/join edges" true (racecheck.Analysis.Racecheck.edges >= 4)
 
 let suite =
   [

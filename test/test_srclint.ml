@@ -318,6 +318,249 @@ let test_parse_error_reported () =
   fires "unparseable file" "parse-error" ~file:"lib/app/broken.ml" ~line:1 findings
 
 (* ------------------------------------------------------------------ *)
+(* (5) domain-escape: the interprocedural sharing analysis             *)
+(* ------------------------------------------------------------------ *)
+
+let ml lines = String.concat "\n" lines ^ "\n"
+
+let test_escape_shared_ref_fires () =
+  let findings =
+    scan ~arch:app_arch
+      [
+        ("lib/app/dune", lib_dune "app");
+        ( "lib/app/racy.ml",
+          ml
+            [
+              "let t () =";
+              "  let r = ref 0 in";
+              "  let a = Domain.spawn (fun () -> r := 1) in";
+              "  let b = Domain.spawn (fun () -> r := 2) in";
+              "  Domain.join a;";
+              "  Domain.join b;";
+              "  !r";
+            ] );
+        ("lib/app/racy.mli", "val t : unit -> int\n");
+      ]
+  in
+  fires "ref captured by first sibling" "domain-escape" ~file:"lib/app/racy.ml" ~line:3 findings;
+  fires "ref captured by second sibling" "domain-escape" ~file:"lib/app/racy.ml" ~line:4 findings
+
+let test_escape_mutable_field_fires () =
+  let findings =
+    scan ~arch:app_arch
+      [
+        ("lib/app/dune", lib_dune "app");
+        ( "lib/app/cellular.ml",
+          ml
+            [
+              "type cell = { mutable v : int }";
+              "";
+              "let t () =";
+              "  let c = { v = 0 } in";
+              "  let a = Domain.spawn (fun () -> c.v <- 1) in";
+              "  let b = Domain.spawn (fun () -> c.v <- 2) in";
+              "  Domain.join a;";
+              "  Domain.join b;";
+              "  c.v";
+            ] );
+        ("lib/app/cellular.mli", "val t : unit -> int\n");
+      ]
+  in
+  fires "mutable record shared by siblings" "domain-escape" ~file:"lib/app/cellular.ml" ~line:5
+    findings
+
+let test_escape_bigarray_replicated_fires () =
+  (* A single spawn site inside an [Array.init] closure is replicated:
+     every sibling captures the same Bigarray. *)
+  let findings =
+    scan ~arch:app_arch
+      [
+        ("lib/app/dune", lib_dune "app");
+        ( "lib/app/biga.ml",
+          ml
+            [
+              "let t () =";
+              "  let big = Bigarray.Array1.create Bigarray.int Bigarray.c_layout 8 in";
+              "  let ds = Array.init 2 (fun i -> Domain.spawn (fun () -> Bigarray.Array1.set big i i)) in";
+              "  Array.iter Domain.join ds";
+            ] );
+        ("lib/app/biga.mli", "val t : unit -> unit\n");
+      ]
+  in
+  fires "Bigarray captured by replicated spawn" "domain-escape" ~file:"lib/app/biga.ml" ~line:3
+    findings
+
+let test_escape_interprocedural_fires () =
+  (* The spawn closure reaches another module's toplevel hashtable only
+     through a call chain. *)
+  let findings =
+    scan ~arch:app_arch
+      [
+        ("lib/app/dune", lib_dune "app");
+        ("lib/app/state.ml", "let table = Hashtbl.create 16\n");
+        ("lib/app/state.mli", "val table : (int, int) Hashtbl.t\n");
+        ( "lib/app/eng.ml",
+          ml
+            [
+              "let bump k = Hashtbl.replace State.table k k";
+              "";
+              "let t () =";
+              "  let d = Domain.spawn (fun () -> bump 1) in";
+              "  Domain.join d";
+            ] );
+        ("lib/app/eng.mli", "val bump : int -> unit\nval t : unit -> unit\n");
+      ]
+  in
+  fires "global reached via call chain" "domain-escape" ~file:"lib/app/eng.ml" ~line:4 findings;
+  check_bool "finding names the escaping global" true
+    (List.exists
+       (fun (f : Srclint.Rules.finding) ->
+         f.Srclint.Rules.rule = "domain-escape" && f.Srclint.Rules.symbol = "table")
+       findings)
+
+let test_escape_sanctioned_forms_silent () =
+  let findings =
+    scan ~arch:app_arch
+      [
+        ("lib/app/dune", lib_dune "app");
+        ( "lib/app/safe.ml",
+          ml
+            [
+              "let t () =";
+              "  let n = Atomic.make 0 in";
+              "  let m = Mutex.create () in";
+              "  let r = ref 0 in";
+              "  let tbl = Hashtbl.create 8 [@@domain_shared \"slots are per-lane disjoint\"] in";
+              "  let a = Domain.spawn (fun () -> Atomic.incr n; Mutex.protect m (fun () -> incr r); Hashtbl.replace tbl 1 1) in";
+              "  let b = Domain.spawn (fun () -> Atomic.incr n; Mutex.protect m (fun () -> incr r); Hashtbl.replace tbl 2 2) in";
+              "  Domain.join a;";
+              "  Domain.join b";
+            ] );
+        ("lib/app/safe.mli", "val t : unit -> unit\n");
+      ]
+  in
+  silent "Atomic / Mutex.protect / domain_shared" "domain-escape" findings;
+  silent "used annotation is not stale" "stale-annotation" findings
+
+let test_escape_sole_transfer_silent () =
+  (* Handing a local mutable wholesale to one spawn is a transfer, not
+     sharing — but touching it from the parent afterwards is. *)
+  let findings =
+    scan ~arch:app_arch
+      [
+        ("lib/app/dune", lib_dune "app");
+        ( "lib/app/handoff.ml",
+          ml
+            [
+              "let t () =";
+              "  let r = ref 0 in";
+              "  let d = Domain.spawn (fun () -> r := 1; !r) in";
+              "  Domain.join d";
+            ] );
+        ("lib/app/handoff.mli", "val t : unit -> int\n");
+      ]
+  in
+  silent "sole transfer" "domain-escape" findings;
+  let findings =
+    scan ~arch:app_arch
+      [
+        ("lib/app/dune", lib_dune "app");
+        ( "lib/app/parent.ml",
+          ml
+            [
+              "let t () =";
+              "  let r = ref 0 in";
+              "  let d = Domain.spawn (fun () -> incr r) in";
+              "  r := 1;";
+              "  Domain.join d";
+            ] );
+        ("lib/app/parent.mli", "val t : unit -> unit\n");
+      ]
+  in
+  fires "closure plus spawning domain" "domain-escape" ~file:"lib/app/parent.ml" ~line:3 findings
+
+let test_escape_annotation_ledger () =
+  (* Stale [@@domain_shared]: sanctions nothing. *)
+  let findings =
+    scan ~arch:app_arch
+      [
+        ("lib/app/dune", lib_dune "app");
+        ("lib/app/s.ml", "let tbl = Hashtbl.create 8 [@@domain_shared \"never shared\"]\n");
+        ("lib/app/s.mli", "val tbl : (int, int) Hashtbl.t\n");
+      ]
+  in
+  fires "unused domain_shared is stale" "stale-annotation" ~file:"lib/app/s.ml" ~line:1 findings;
+  (* Stale [@@single_domain]: the binding isn't mutable state. *)
+  let findings =
+    scan ~arch:app_arch
+      [
+        ("lib/app/dune", lib_dune "app");
+        ("lib/app/s.ml", "let immut = 42 [@@single_domain \"pointless\"]\n");
+        ("lib/app/s.mli", "val immut : int\n");
+      ]
+  in
+  fires "single_domain on immutable binding is stale" "stale-annotation" ~file:"lib/app/s.ml"
+    ~line:1 findings;
+  (* Undocumented [@@domain_shared]: sanctions the capture but needs a
+     reason. *)
+  let findings =
+    scan ~arch:app_arch
+      [
+        ("lib/app/dune", lib_dune "app");
+        ( "lib/app/s.ml",
+          ml
+            [
+              "let t () =";
+              "  let r = ref 0 [@@domain_shared] in";
+              "  let a = Domain.spawn (fun () -> incr r) in";
+              "  let b = Domain.spawn (fun () -> incr r) in";
+              "  Domain.join a;";
+              "  Domain.join b";
+            ] );
+        ("lib/app/s.mli", "val t : unit -> unit\n");
+      ]
+  in
+  silent "annotation still sanctions the capture" "domain-escape" findings;
+  fires "but without a reason it is undocumented" "undocumented-annotation" ~file:"lib/app/s.ml"
+    ~line:2 findings
+
+(* ------------------------------------------------------------------ *)
+(* (6) executable scope                                                *)
+(* ------------------------------------------------------------------ *)
+
+let exe_arch = [ ("app", []); ("bin", [ "app" ]) ]
+
+let test_exe_scope_layering () =
+  let findings =
+    scan ~arch:exe_arch
+      [
+        ("lib/app/dune", lib_dune "app");
+        ("lib/app/a.ml", "let v = 1\n");
+        ("lib/app/a.mli", "val v : int\n");
+        ("bin/dune", "(executable\n (name demo)\n (libraries))\n");
+        ("bin/demo.ml", "let () = print_int App.A.v\n");
+      ]
+  in
+  fires "exe reference not declared in its dune" "undeclared-dep" ~file:"bin/demo.ml" ~line:1
+    findings;
+  (* The lib-only families stay out of executable scope. *)
+  silent "no missing-mli for executables" "missing-mli" findings
+
+let test_exe_scope_forbidden_edge () =
+  let findings =
+    scan ~arch:[ ("app", []); ("bin", []) ]
+      [
+        ("lib/app/dune", lib_dune "app");
+        ("lib/app/a.ml", "let v = 1\n");
+        ("lib/app/a.mli", "val v : int\n");
+        ("bin/dune", "(executable\n (name demo)\n (libraries app))\n");
+        ("bin/demo.ml", "let () = print_int App.A.v\n");
+      ]
+  in
+  fires "edge the DAG forbids, declared in the exe dune" "layering" ~file:"bin/dune" ~line:1
+    findings
+
+(* ------------------------------------------------------------------ *)
 (* Baseline mechanics                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -449,6 +692,21 @@ let suite =
         test_case "Obj.magic / assert false in TCB fire" `Quick test_hygiene_tcb_unsafe;
         test_case "unpaired gate probes fire" `Quick test_hygiene_probe_pairing;
         test_case "parse errors become findings" `Quick test_parse_error_reported;
+      ] );
+    ( "srclint-escape",
+      [
+        test_case "shared ref across siblings fires" `Quick test_escape_shared_ref_fires;
+        test_case "mutable record field fires" `Quick test_escape_mutable_field_fires;
+        test_case "replicated Bigarray capture fires" `Quick test_escape_bigarray_replicated_fires;
+        test_case "call chain to global fires" `Quick test_escape_interprocedural_fires;
+        test_case "sanctioned forms are silent" `Quick test_escape_sanctioned_forms_silent;
+        test_case "sole transfer vs parent use" `Quick test_escape_sole_transfer_silent;
+        test_case "annotation ledger" `Quick test_escape_annotation_ledger;
+      ] );
+    ( "srclint-exe-scope",
+      [
+        test_case "undeclared dep fires, lib families don't" `Quick test_exe_scope_layering;
+        test_case "forbidden edge fires from exe dune" `Quick test_exe_scope_forbidden_edge;
       ] );
     ( "srclint-baseline",
       [
