@@ -20,6 +20,7 @@ check: test examples lint-src race-check
 	dune exec bin/cki_demo.exe -- serve --check --containers 2 --requests 50
 	dune exec bin/cki_demo.exe -- clone --check
 	dune exec bin/cki_demo.exe -- fleet --check --tenants 2 --rate 45000 -r 2000
+	dune exec bin/cki_demo.exe -- migrate --check --chaos
 	dune exec bin/cki_demo.exe -- model-check --depth 8
 
 # Mutation testing: every seeded enforcement mutant must be killed by
@@ -45,7 +46,7 @@ race-check: build
 # Regenerate every checked-in benchmark artifact (BENCH_*.json) in the
 # repo root.  Each bench writes its file into the current directory.
 bench-json: build
-	dune exec bench/main.exe -- --json snapshot modelcheck ioplane fleet srclint racecheck engine micro
+	dune exec bench/main.exe -- --json snapshot modelcheck ioplane fleet migration srclint racecheck engine micro
 	$(MAKE) validate-bench
 
 # Parse every checked-in BENCH_*.json with the in-repo JSON parser
@@ -77,6 +78,7 @@ examples: build
 	dune exec examples/kv_serving.exe
 	dune exec examples/traffic_serving.exe
 	dune exec examples/fleet_autoscale.exe
+	dune exec examples/live_migration.exe
 
 clean:
 	dune clean

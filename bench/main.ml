@@ -15,7 +15,7 @@
    BENCH_modelcheck.json, micro -> BENCH_micro.json, srclint ->
    BENCH_srclint.json, racecheck -> BENCH_racecheck.json, ioplane ->
    BENCH_ioplane.json, engine -> BENCH_engine.json, fleet ->
-   BENCH_fleet.json.
+   BENCH_fleet.json, migration -> BENCH_migration.json.
 
    `validate` parses every BENCH_*.json in the current directory with
    Report.Json.parse and fails if any is malformed — the CI check that
@@ -111,6 +111,9 @@ let () =
     | "fleet" ->
         Fleet_bench.run ~json ();
         true
+    | "migration" ->
+        Migration_bench.run ~json ();
+        true
     | "validate" ->
         validate_artifacts ();
         true
@@ -125,8 +128,8 @@ let () =
       List.iter (fun (name, _) -> print_endline name) Experiments.all;
       List.iter print_endline
         [
-          "snapshot"; "modelcheck"; "ioplane"; "fleet"; "micro"; "srclint"; "racecheck"; "engine";
-          "simbench"; "validate";
+          "snapshot"; "modelcheck"; "ioplane"; "fleet"; "migration"; "micro"; "srclint";
+          "racecheck"; "engine"; "simbench"; "validate";
         ]
   | [] ->
       Printf.printf "CKI (EuroSys'25) reproduction — full benchmark run\n";
@@ -140,6 +143,7 @@ let () =
       Mc_bench.run ~json ();
       Ioplane_bench.run ~json ();
       Fleet_bench.run ~json ();
+      Migration_bench.run ~json ();
       Srclint_bench.run ~json ();
       Racecheck_bench.run ~json ();
       Engine_bench.run ~json ();

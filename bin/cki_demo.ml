@@ -6,6 +6,7 @@
      cki_demo kv       [--clients N] [--redis] [--backend ...] [--nested]
      cki_demo serve    [--containers N] [--requests M] [--window W] [--backend ...]
      cki_demo fleet    [--tenants N] [--rate R] [--requests M] [--slo US] [--quota PCT]
+     cki_demo migrate  [--rounds N] [--chaos]
      cki_demo snapshot [--out FILE]
      cki_demo restore  [--in FILE]
      cki_demo clone    [--clones N] [--warm K]
@@ -189,6 +190,72 @@ let fleet tenants rate requests slo max_replicas quota_pct admission domains che
   in
   if vf > 0 then begin
     Printf.eprintf "%d scale-out clones failed re-verification\n" vf;
+    if check then exit 2
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Live migration                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* One pre-copy migration across a fresh 2-host fabric, then (with
+   --chaos) the three failure scenarios plus the leak-injection
+   self-test.  A migration must leave exactly one analysis-clean live
+   copy and zero frames of the losing copy on the losing host —
+   --check turns any departure from that into exit 2. *)
+let migrate_cmd_impl rounds chaos check =
+  let violations = ref 0 in
+  with_check check @@ fun () ->
+  let fab = Migrate.Fabric.create ~hosts:2 () in
+  let a = Migrate.Chaos.boot_app fab ~hid:0 in
+  ignore (Migrate.Fabric.expose fab ~name:"svc" ~home:0);
+  let opts = { Migrate.Engine.default_opts with Migrate.Engine.rounds_max = rounds } in
+  (match
+     Migrate.Engine.migrate fab ~src:0 ~dst:1 ~name:"svc" a.Migrate.Chaos.container
+       ~work:(Migrate.Chaos.work_of a) opts
+   with
+  | Error e ->
+      Printf.eprintf "migration failed: %s\n" (Migrate.Engine.show_error e);
+      exit 1
+  | Ok st ->
+      let open Migrate.Engine in
+      ignore (track st.live);
+      Printf.printf
+        "migrated 'svc' host 0 -> host %d: downtime %.0f ns (total %.0f ns)\n\
+        \  %d pre-copy rounds (%s), %d full + %d resent frames, %d buffered frames replayed\n"
+        st.live_hid st.downtime_ns st.total_ns (List.length st.rounds)
+        (if st.converged then "converged" else "round cap")
+        st.frames_full st.frames_resent st.replayed;
+      let leaked =
+        Migrate.Fabric.owned_frames fab ~hid:st.loser_hid ~container:st.loser_container
+      in
+      Printf.printf "  source frames left behind: %d\n" leaked;
+      if leaked > 0 then incr violations);
+  if chaos then begin
+    Printf.printf "\nchaos scenarios:\n";
+    List.iter
+      (fun (v : Migrate.Chaos.verdict) ->
+        Printf.printf "  %-12s -> host %d live, %d findings, %d leaked, split brain %s: %s\n"
+          (Migrate.Chaos.scenario_name v.Migrate.Chaos.scenario)
+          v.Migrate.Chaos.live_hid v.Migrate.Chaos.analysis_findings v.Migrate.Chaos.leaked_frames
+          (if v.Migrate.Chaos.split_brain then "YES" else "no")
+          (if v.Migrate.Chaos.ok then "ok" else "VIOLATION");
+        if not v.Migrate.Chaos.ok then incr violations)
+      (Migrate.Chaos.all ());
+    (* The leak checker must catch a planted frame on a surviving
+       loser host (the dead source of Source_crash has nothing left
+       to leak). *)
+    let caught =
+      List.for_all
+        (fun (v : Migrate.Chaos.verdict) ->
+          if Migrate.Chaos.(v.scenario = Source_crash) then v.Migrate.Chaos.ok
+          else (not v.Migrate.Chaos.ok) && v.Migrate.Chaos.leaked_frames > 0)
+        (Migrate.Chaos.all ~leak_inject:true ())
+    in
+    Printf.printf "  leak injection caught: %s\n" (if caught then "ok" else "VIOLATION");
+    if not caught then incr violations
+  end;
+  if !violations > 0 then begin
+    Printf.eprintf "%d migration invariant violation(s)\n" !violations;
     if check then exit 2
   end
 
@@ -576,6 +643,31 @@ let fleet_cmd =
       const fleet $ tenants $ rate $ requests $ slo $ max_replicas $ quota $ admission $ domains
       $ check_arg)
 
+let migrate_cmd =
+  let rounds =
+    Arg.(
+      value
+      & opt int Migrate.Engine.default_opts.Migrate.Engine.rounds_max
+      & info [ "rounds" ] ~doc:"Pre-copy round cap (0 = pure stop-and-copy).")
+  in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Also run the failure scenarios — source crash mid-round, target crash before \
+             cutover, fabric partition — plus the frame-leak-injection self-test; each must \
+             leave exactly one analysis-clean live copy.")
+  in
+  Cmd.v
+    (Cmd.info "migrate" ~exits
+       ~doc:
+         "Live-migrate a container between two fabric hosts with iterative pre-copy dirty \
+          tracking: rounds of dirty-frame sends while the source serves, a bounded \
+          stop-and-copy, analysis re-verification before cutover, and atomic endpoint \
+          re-homing with buffered-traffic replay.")
+    Term.(const migrate_cmd_impl $ rounds $ chaos $ check_arg)
+
 let snapshot_cmd =
   let out =
     Arg.(value & opt string "container.ckisnap" & info [ "o"; "out" ] ~doc:"Output image file.")
@@ -700,6 +792,7 @@ let () =
             kv_cmd;
             serve_cmd;
             fleet_cmd;
+            migrate_cmd;
             snapshot_cmd;
             restore_cmd;
             clone_cmd;

@@ -35,7 +35,11 @@ type t = {
   mutable doorbells : int;  (** device-doorbell hypercalls (Net/Blk) *)
 }
 
-let create ?(policy = Scatter) (machine : Hw.Machine.t) =
+(* [first_container] separates container-id spaces when several host
+   instances share one machine (fleet host slices): delegations and
+   frame owners are tagged by container id, so ids must stay unique
+   machine-wide. *)
+let create ?(policy = Scatter) ?(first_container = 1) (machine : Hw.Machine.t) =
   let mem = Hw.Machine.mem machine in
   let host_root = Hw.Phys_mem.alloc mem ~owner:Hw.Phys_mem.Host ~kind:(Hw.Phys_mem.Page_table 4) in
   {
@@ -45,7 +49,7 @@ let create ?(policy = Scatter) (machine : Hw.Machine.t) =
     host_pcid = 0;
     policy;
     delegations = [];
-    next_container = 1;
+    next_container = first_container;
     hypercalls = 0;
     injected_virqs = 0;
     hw_interrupts = 0;
@@ -244,10 +248,13 @@ module Warm_pool = struct
     end
     else 0
 
+  (* Hand the drained templates back to the caller: only the snapshot
+     layer knows whether a template still backs live CoW clones and may
+     be destroyed or must be retired until its refcounts drop. *)
   let drain p =
-    let n = Queue.length p.ready in
+    let items = List.of_seq (Queue.to_seq p.ready) in
     Queue.clear p.ready;
-    n
+    items
 
   let size p = Queue.length p.ready
   let prebooted p = p.prebooted

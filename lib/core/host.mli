@@ -20,8 +20,10 @@ val scatter_min_chunk : int
 
 type t
 
-val create : ?policy:policy -> Hw.Machine.t -> t
-(** Default policy is [Scatter]. *)
+val create : ?policy:policy -> ?first_container:int -> Hw.Machine.t -> t
+(** Default policy is [Scatter]. [first_container] (default 1) offsets
+    the container-id counter so several host instances sharing one
+    machine (fleet host slices) keep machine-wide-unique ids. *)
 
 val machine : t -> Hw.Machine.t
 val host_root : t -> Hw.Addr.pfn
@@ -84,10 +86,12 @@ module Warm_pool : sig
   (** Background-refill hook: when the ready count has dipped below the
       low-water mark, rebuild up to target; returns templates built. *)
 
-  val drain : 'a t -> int
+  val drain : 'a t -> 'a list
   (** Empty the ready queue (simulating template eviction); returns the
-      number dropped. The next {!take} is a miss unless
-      {!refill_low_water} runs first. *)
+      drained templates so the caller can decide their fate — only the
+      snapshot layer knows whether one still backs live CoW clones and
+      must be retired rather than destroyed. The next {!take} is a miss
+      unless {!refill_low_water} runs first. *)
 
   val size : 'a t -> int
   val prebooted : 'a t -> int

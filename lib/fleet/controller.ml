@@ -49,6 +49,13 @@ let default_tenant =
     admission_rps = infinity;
   }
 
+(* Evacuate host [d_host] once the tenant has offered [d_after_requests]
+   arrivals: replacement replicas are warm-cloned on the surviving
+   hosts first, the draining host's replicas stop taking new picks and
+   are destroyed as they go idle, and its warm pool is drained (live
+   templates retire until their clones die). *)
+type drain_spec = { d_host : int; d_after_requests : int }
+
 type config = {
   tenants : tenant list;
   balancer : Balancer.policy;
@@ -61,6 +68,8 @@ type config = {
   io_window : int;
   queue_size : int;
   mem_mib : int;  (** per-tenant machine memory *)
+  hosts : int;  (** host slices per tenant (one machine, disjoint id spaces) *)
+  drain : drain_spec option;
   seed : int;
 }
 
@@ -82,6 +91,8 @@ let default_config =
     io_window = 1;
     queue_size = 64;
     mem_mib = 512;
+    hosts = 1;
+    drain = None;
     seed = 0x2545F4914F6CDD1D;
   }
 
@@ -111,6 +122,11 @@ type tenant_result = {
   tr_balancer_picks : int;
   tr_throttle_events : int;
   tr_elapsed_ns : float;
+  tr_evacuated : int;  (** draining-host replicas destroyed after going idle *)
+  tr_drain_ns : float;  (** drain trigger -> last evacuee destroyed; 0 without drain *)
+  tr_p99_before_us : float;  (** phase p99s around the drain window; 0 without drain *)
+  tr_p99_during_us : float;
+  tr_p99_after_us : float;
 }
 
 type result = { tenants : tenant_result list; makespan_ns : float; domains : int }
@@ -119,6 +135,8 @@ type replica = {
   rep_lane : Lane.t;
   rep_container : Cki.Container.t;
   rep_entry : Cki.Vcpu_sched.vcpu_entry;
+  rep_host : int;
+  mutable rep_draining : bool;  (** excluded from balancer picks; destroyed when idle *)
 }
 
 let xorshift rng n =
@@ -138,22 +156,38 @@ let tenant_seed base i =
 let run_tenant cfg tenant ~seed =
   if tenant.requests < 1 then invalid_arg "Fleet: tenant needs at least one request";
   if tenant.rate_rps <= 0.0 then invalid_arg "Fleet: tenant rate must be positive";
+  if cfg.hosts < 1 then invalid_arg "Fleet: need at least one host";
+  (match cfg.drain with
+  | Some d ->
+      if cfg.hosts < 2 then invalid_arg "Fleet: draining needs a surviving host";
+      if d.d_host < 0 || d.d_host >= cfg.hosts then invalid_arg "Fleet: drain host out of range"
+  | None -> ());
   let machine = Hw.Machine.create ~cpus:4 ~mem_mib:cfg.mem_mib () in
   let clock = Hw.Machine.clock machine in
-  let host = Cki.Host.create machine in
+  (* Host slices share the machine (and clock) but own disjoint
+     container-id spaces, so delegations and frame ownership stay
+     attributable per host — what the drain leak check relies on. *)
+  let hosts =
+    Array.init cfg.hosts (fun h -> Cki.Host.create ~first_container:((h * 100_000) + 1) machine)
+  in
   let loop = Ioplane.Loop.create clock in
-  let sched = Cki.Vcpu_sched.create host in
+  let scheds = Array.map Cki.Vcpu_sched.create hosts in
   let rng = ref seed in
   let rand n = xorshift rng n in
   let ccfg = cfg.container_cfg in
-  let pool =
-    Snapshot.Pool.create ~low_water:cfg.pool_low_water ~target:cfg.pool_target
-      ~make:(fun () ->
-        match Snapshot.Template.create (Cki.Container.create ~cfg:ccfg host) with
-        | Ok t -> t
-        | Error e -> failwith ("Fleet: template build failed: " ^ Snapshot.Template.show_error e))
-      ()
+  let pools =
+    Array.map
+      (fun host ->
+        Snapshot.Pool.create ~low_water:cfg.pool_low_water ~target:cfg.pool_target
+          ~make:(fun () ->
+            match Snapshot.Template.create (Cki.Container.create ~cfg:ccfg host) with
+            | Ok t -> t
+            | Error e ->
+                failwith ("Fleet: template build failed: " ^ Snapshot.Template.show_error e))
+          ())
+      hosts
   in
+  let draining : int option ref = ref None in
   let replicas = ref [||] in
   let next_replica = ref 0 in
   let spawns = ref [] in
@@ -165,7 +199,20 @@ let run_tenant cfg tenant ~seed =
      The spawn latency sample records whether the pool served it warm
      (hit) or had to build a template inline (miss — the cold cliff
      refill_low_water exists to avoid). *)
+  (* Place a new replica on the least-loaded host that is not
+     draining (lowest index on ties — deterministic). *)
+  let pick_host () =
+    let counts = Array.make cfg.hosts 0 in
+    Array.iter (fun r -> counts.(r.rep_host) <- counts.(r.rep_host) + 1) !replicas;
+    let best = ref (-1) in
+    for h = cfg.hosts - 1 downto 0 do
+      if !draining <> Some h && (!best < 0 || counts.(h) <= counts.(!best)) then best := h
+    done;
+    !best
+  in
   let spawn_replica () =
+    let h = pick_host () in
+    let pool = pools.(h) in
     let misses0 = (Snapshot.Pool.stats pool).Snapshot.Pool.misses in
     let res, ns = Hw.Clock.timed clock (fun () -> Snapshot.Pool.spawn_fast ~verify:true pool) in
     match res with
@@ -182,8 +229,10 @@ let run_tenant cfg tenant ~seed =
           Lane.attach ~loop ~workload:tenant.workload ~queue_size:cfg.queue_size
             ~window:cfg.io_window ~rand ~name (Cki.Container.backend c)
         in
-        let entry = Cki.Vcpu_sched.add_vcpu ?quota:cfg.cpu_quota sched c ~vcpu:0 in
-        replicas := Array.append !replicas [| { rep_lane = lane; rep_container = c; rep_entry = entry } |];
+        let entry = Cki.Vcpu_sched.add_vcpu ?quota:cfg.cpu_quota scheds.(h) c ~vcpu:0 in
+        replicas :=
+          Array.append !replicas
+            [| { rep_lane = lane; rep_container = c; rep_entry = entry; rep_host = h; rep_draining = false } |];
         if Array.length !replicas > !peak then peak := Array.length !replicas;
         true
   in
@@ -196,18 +245,64 @@ let run_tenant cfg tenant ~seed =
     let floor_n = max 1 cfg.autoscaler.Autoscaler.min_replicas in
     let idx = ref (-1) in
     for i = 0 to n - 1 do
-      if Lane.inflight arr.(i).rep_lane = 0 then idx := i
+      (* Draining replicas belong to the evacuation sweep, not scale-in. *)
+      if Lane.inflight arr.(i).rep_lane = 0 && not arr.(i).rep_draining then idx := i
     done;
     if !idx >= 0 && n > floor_n then begin
       let r = arr.(!idx) in
       Lane.detach r.rep_lane;
-      Cki.Vcpu_sched.remove_vcpu sched r.rep_entry;
+      Cki.Vcpu_sched.remove_vcpu scheds.(r.rep_host) r.rep_entry;
       Cki.Container.destroy r.rep_container;
       replicas := Array.of_list (List.filteri (fun i _ -> i <> !idx) (Array.to_list arr));
       incr scale_ins;
       true
     end
     else false
+  in
+  (* The drain_host action: warm-clone replacements onto the surviving
+     hosts *first* (capacity never dips), then fence the draining
+     host's replicas out of the balancer and evict its warm pool.
+     In-use templates retire; [reap_retired] frees them once their
+     last clone dies. *)
+  let evacuated = ref 0 in
+  let drain_start_ns = ref 0.0 in
+  let drain_end_ns = ref 0.0 in
+  let drain_host h =
+    draining := Some h;
+    drain_start_ns := Hw.Clock.now clock;
+    let doomed = Array.to_list !replicas |> List.filter (fun r -> r.rep_host = h) in
+    List.iter (fun _ -> ignore (spawn_replica ())) doomed;
+    List.iter (fun r -> r.rep_draining <- true) doomed;
+    ignore (Snapshot.Pool.drain pools.(h))
+  in
+  (* Destroy draining replicas as they go idle; note when the host is
+     empty — the drain window the phase p99s bracket. *)
+  let sweep_draining () =
+    match !draining with
+    | None -> ()
+    | Some h ->
+        let arr = !replicas in
+        if Array.exists (fun r -> r.rep_draining) arr then begin
+          let gone = ref false in
+          Array.iter
+            (fun r ->
+              if r.rep_draining && Lane.inflight r.rep_lane = 0 then begin
+                Lane.detach r.rep_lane;
+                Cki.Vcpu_sched.remove_vcpu scheds.(r.rep_host) r.rep_entry;
+                Cki.Container.destroy r.rep_container;
+                incr evacuated;
+                gone := true
+              end)
+            arr;
+          if !gone then
+            replicas :=
+              Array.of_list
+                (List.filter
+                   (fun r -> not (r.rep_draining && Lane.inflight r.rep_lane = 0))
+                   (Array.to_list arr))
+        end
+        else if !drain_end_ns = 0.0 && Array.for_all (fun r -> r.rep_host <> h) arr then
+          drain_end_ns := Hw.Clock.now clock
   in
   for _ = 1 to max cfg.initial_replicas cfg.autoscaler.Autoscaler.min_replicas do
     if not (spawn_replica ()) then failwith "Fleet: bootstrap replica failed verification"
@@ -223,8 +318,18 @@ let run_tenant cfg tenant ~seed =
   let next_arrival = ref start_ns in
   let offered = ref 0 in
   let latencies = ref [] in
+  let stamped = ref [] in  (* (completion_ns, latency_us) for phase p99s *)
   let completed = ref 0 in
   let inflight_total () = Array.fold_left (fun a r -> a + Lane.inflight r.rep_lane) 0 !replicas in
+  (* Background refill skips a draining host (its pool must empty out,
+     not regrow) and reaps retired templates whose last clone died. *)
+  let refill_pools () =
+    Array.iteri
+      (fun h pool ->
+        if !draining <> Some h then ignore (Snapshot.Pool.refill_low_water pool);
+        ignore (Snapshot.Pool.reap_retired pool))
+      pools
+  in
   let rounds = ref 0 in
   let max_rounds = (100 * tenant.requests) + 10_000 in
   while !offered < tenant.requests || inflight_total () > 0 do
@@ -244,13 +349,25 @@ let run_tenant cfg tenant ~seed =
       let now = Hw.Clock.now clock in
       if Admission.admit admission ~now ~inflight:(inflight_total ()) then begin
         let arr = !replicas in
-        let n = Array.length arr in
-        let i = Balancer.pick balancer ~load:(fun i -> Lane.inflight arr.(i).rep_lane) ~n in
-        Lane.send arr.(i).rep_lane ~ts:!next_arrival
+        (* Draining replicas are fenced: they finish what they hold
+           but take no new picks. *)
+        let elig = ref [] in
+        Array.iteri (fun i r -> if not r.rep_draining then elig := i :: !elig) arr;
+        let elig = Array.of_list (List.rev !elig) in
+        let n = Array.length elig in
+        let i =
+          Balancer.pick balancer ~load:(fun i -> Lane.inflight arr.(elig.(i)).rep_lane) ~n
+        in
+        Lane.send arr.(elig.(i)).rep_lane ~ts:!next_arrival
       end;
       next_arrival := !next_arrival +. interval;
       progressed := true
     done;
+    (* The drain_host action fires once the offered count crosses the
+       spec's threshold. *)
+    (match cfg.drain with
+    | Some d when !draining = None && !offered >= d.d_after_requests -> drain_host d.d_host
+    | _ -> ());
     (* Deliver frames; handlers become scheduled vCPU work. *)
     Array.iter
       (fun r ->
@@ -268,9 +385,19 @@ let run_tenant cfg tenant ~seed =
     in
     if pending_work > 0 then begin
       let t0 = Hw.Clock.now clock in
-      Cki.Vcpu_sched.run sched
-        ~slices:(max 1 (Array.length !replicas))
-        ~after_slice:(fun () -> ignore (Ioplane.Loop.tick loop));
+      Array.iteri
+        (fun h sched ->
+          let host_pending =
+            Array.fold_left
+              (fun a r ->
+                if r.rep_host = h then a + Queue.length r.rep_entry.Cki.Vcpu_sched.work else a)
+              0 !replicas
+          in
+          if host_pending > 0 then
+            Cki.Vcpu_sched.run sched
+              ~slices:(max 1 (Array.length !replicas))
+              ~after_slice:(fun () -> ignore (Ioplane.Loop.tick loop)))
+        scheds;
       if Hw.Clock.now clock > t0 then progressed := true
     end;
     if Ioplane.Loop.tick loop > 0 then progressed := true;
@@ -281,28 +408,60 @@ let run_tenant cfg tenant ~seed =
           (fun ts ->
             let lat_us = (Hw.Clock.now clock -. ts) /. 1e3 in
             latencies := lat_us :: !latencies;
+            stamped := (Hw.Clock.now clock, lat_us) :: !stamped;
             Autoscaler.observe autoscaler ~latency_us:lat_us;
             incr completed;
             progressed := true)
           (Lane.reap r.rep_lane))
       !replicas;
+    sweep_draining ();
     (match
        Autoscaler.decide autoscaler ~now:(Hw.Clock.now clock) ~replicas:(Array.length !replicas)
      with
     | Autoscaler.Hold -> ()
     | Autoscaler.Scale_out ->
         if spawn_replica () then incr scale_outs;
-        ignore (Snapshot.Pool.refill_low_water pool)
+        refill_pools ()
     | Autoscaler.Scale_in -> ignore (scale_in ()));
     (* Idle: background pool refill, then advance to the next arrival. *)
     if not !progressed then begin
-      ignore (Snapshot.Pool.refill_low_water pool);
+      refill_pools ();
       if !offered < tenant.requests && !next_arrival > Hw.Clock.now clock then
         Hw.Clock.advance clock (!next_arrival -. Hw.Clock.now clock)
       else Hw.Clock.advance clock 1_000.0
     end
   done;
   let elapsed_ns = Hw.Clock.now clock -. start_ns in
+  (* Phase p99s bracket the drain window: completions before the
+     trigger, during the evacuation, and after the host emptied. *)
+  let drain_ns, p99_before, p99_during, p99_after =
+    if !drain_start_ns = 0.0 then (0.0, 0.0, 0.0, 0.0)
+    else begin
+      let d_end = if !drain_end_ns = 0.0 then Hw.Clock.now clock else !drain_end_ns in
+      let phase lo hi =
+        List.filter_map (fun (t, l) -> if t >= lo && t < hi then Some l else None) !stamped
+      in
+      let p99 = function [] -> 0.0 | l -> Report.Stats.percentile l ~p:99.0 in
+      ( d_end -. !drain_start_ns,
+        p99 (phase neg_infinity !drain_start_ns),
+        p99 (phase !drain_start_ns d_end),
+        p99 (phase d_end infinity) )
+    end
+  in
+  let merge_pool_stats () =
+    Array.fold_left
+      (fun (a : Snapshot.Pool.stats) p ->
+        let s = Snapshot.Pool.stats p in
+        {
+          Snapshot.Pool.hits = a.Snapshot.Pool.hits + s.Snapshot.Pool.hits;
+          misses = a.Snapshot.Pool.misses + s.Snapshot.Pool.misses;
+          refills = a.Snapshot.Pool.refills + s.Snapshot.Pool.refills;
+          size = a.Snapshot.Pool.size + s.Snapshot.Pool.size;
+          served = a.Snapshot.Pool.served + s.Snapshot.Pool.served;
+        })
+      { Snapshot.Pool.hits = 0; misses = 0; refills = 0; size = 0; served = 0 }
+      pools
+  in
   {
     tr_name = tenant.name;
     tr_offered = !offered;
@@ -323,10 +482,16 @@ let run_tenant cfg tenant ~seed =
     tr_peak_replicas = !peak;
     tr_final_replicas = Array.length !replicas;
     tr_spawns = List.rev !spawns;
-    tr_pool = Snapshot.Pool.stats pool;
+    tr_pool = merge_pool_stats ();
     tr_balancer_picks = Balancer.picks balancer;
-    tr_throttle_events = Cki.Vcpu_sched.throttle_events sched;
+    tr_throttle_events =
+      Array.fold_left (fun a s -> a + Cki.Vcpu_sched.throttle_events s) 0 scheds;
     tr_elapsed_ns = elapsed_ns;
+    tr_evacuated = !evacuated;
+    tr_drain_ns = drain_ns;
+    tr_p99_before_us = p99_before;
+    tr_p99_during_us = p99_during;
+    tr_p99_after_us = p99_after;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -23,6 +23,12 @@ type tenant = {
 
 val default_tenant : tenant
 
+(** Evacuate host [d_host] once [d_after_requests] arrivals have been
+    offered: replacements warm-clone onto the surviving hosts first,
+    the doomed replicas drain (no new picks, destroyed when idle) and
+    the host's warm pool is evicted. *)
+type drain_spec = { d_host : int; d_after_requests : int }
+
 type config = {
   tenants : tenant list;
   balancer : Balancer.policy;
@@ -35,6 +41,8 @@ type config = {
   io_window : int;
   queue_size : int;
   mem_mib : int;  (** per-tenant machine memory *)
+  hosts : int;  (** host slices per tenant (one machine, disjoint id spaces) *)
+  drain : drain_spec option;
   seed : int;
 }
 
@@ -70,6 +78,11 @@ type tenant_result = {
   tr_balancer_picks : int;
   tr_throttle_events : int;
   tr_elapsed_ns : float;
+  tr_evacuated : int;  (** draining-host replicas destroyed after going idle *)
+  tr_drain_ns : float;  (** drain trigger -> host empty; 0 without drain *)
+  tr_p99_before_us : float;  (** phase p99s bracketing the drain window; 0 without drain *)
+  tr_p99_during_us : float;
+  tr_p99_after_us : float;
 }
 
 type result = { tenants : tenant_result list; makespan_ns : float; domains : int }

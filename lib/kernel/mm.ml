@@ -19,6 +19,12 @@ type t = {
   frozen : (Hw.Addr.vpn, unit) Hashtbl.t;
       (** template pages whose frames live clones share read-only: a
           write is a fault, mirroring the hardware PTE downgrade *)
+  wp : (Hw.Addr.vpn, unit) Hashtbl.t;
+      (** pages write-protected by the dirty-tracking epoch: the PTE
+          was downgraded read-only; the first write takes a fault that
+          re-arms it writable and logs the page as dirty *)
+  dirty : (Hw.Addr.vpn, unit) Hashtbl.t;  (** dirty log of the current epoch *)
+  mutable tracking : bool;
   mutable release_shared : Hw.Addr.pfn -> unit;
       (** drop one reference on a template frame (set by the clone) *)
   mutable brk : Hw.Addr.va;
@@ -42,6 +48,9 @@ let create platform =
       pages = Hashtbl.create 1024;
       cow = Hashtbl.create 16;
       frozen = Hashtbl.create 16;
+      wp = Hashtbl.create 16;
+      dirty = Hashtbl.create 16;
+      tracking = false;
       release_shared = ignore;
       brk = user_brk_base;
       brk_base = user_brk_base;
@@ -68,6 +77,9 @@ let restore platform ~aspace ~brk ~mmap_cursor =
     pages = Hashtbl.create 1024;
     cow = Hashtbl.create 16;
     frozen = Hashtbl.create 16;
+    wp = Hashtbl.create 16;
+    dirty = Hashtbl.create 16;
+    tracking = false;
     release_shared = ignore;
     brk;
     brk_base = user_brk_base;
@@ -117,6 +129,78 @@ let freeze_page t ~vpn = Hashtbl.replace t.frozen vpn ()
 let is_frozen t vpn = Hashtbl.mem t.frozen vpn
 let frozen_count t = Hashtbl.length t.frozen
 
+(* --- Dirty-page tracking (live-migration pre-copy) -------------------
+   Write-protect-and-log, reusing the CoW write-fault shape: every
+   resident page in a writable VMA gets its PTE downgraded read-only
+   (through the platform, i.e. the KSM on CKI); the first write takes a
+   fault that re-arms the PTE writable and logs the vpn.  [shootdown]
+   is called once per downgraded page so the caller can invlpg every
+   vCPU — the same TLB discipline Template.freeze follows.  CoW and
+   frozen pages are already read-only and log through their own fault
+   paths; pages that only become resident during the epoch are logged
+   by [handle_fault] since they did not exist in the last image. *)
+
+let tracking t = t.tracking
+let dirty_count t = Hashtbl.length t.dirty
+
+let wp_page t ~shootdown vpn =
+  let va = Hw.Addr.va_of_vpn vpn in
+  match Vma.find t.vmas va with
+  | Some area
+    when area.Vma.prot.Vma.write
+         && Hashtbl.mem t.pages vpn
+         && (not (Hashtbl.mem t.cow vpn))
+         && not (Hashtbl.mem t.frozen vpn) ->
+      t.platform.Platform.pte_protect t.aspace ~va ~writable:false;
+      shootdown va;
+      Hashtbl.replace t.wp vpn ();
+      true
+  | _ -> false
+
+let dirty_track_start t ~shootdown =
+  if t.tracking then invalid_arg "Mm.dirty_track_start: already tracking";
+  t.tracking <- true;
+  Hashtbl.reset t.dirty;
+  let n = ref 0 in
+  let vpns = Hashtbl.fold (fun vpn _ acc -> vpn :: acc) t.pages [] in
+  List.iter (fun vpn -> if wp_page t ~shootdown vpn then incr n) vpns;
+  !n
+
+let harvest_dirty t =
+  Hashtbl.fold (fun vpn () acc -> vpn :: acc) t.dirty []
+  |> List.sort compare
+
+(* End one pre-copy round: harvest the dirty log and re-arm write
+   protection on exactly those pages, so the next round only sees new
+   writes. *)
+let dirty_track_round t ~shootdown =
+  if not t.tracking then invalid_arg "Mm.dirty_track_round: not tracking";
+  let dirty = harvest_dirty t in
+  Hashtbl.reset t.dirty;
+  List.iter (fun vpn -> ignore (wp_page t ~shootdown vpn)) dirty;
+  dirty
+
+(* Stop-and-copy: harvest the final dirty set and drop every remaining
+   write protection, restoring each PTE to its VMA permission.  Runs
+   before the final capture so the captured PTEs carry the container's
+   real protections, not the epoch's. *)
+let dirty_track_finish t =
+  if not t.tracking then invalid_arg "Mm.dirty_track_finish: not tracking";
+  t.tracking <- false;
+  Hashtbl.iter
+    (fun vpn () ->
+      if Hashtbl.mem t.pages vpn then
+        let va = Hw.Addr.va_of_vpn vpn in
+        match Vma.find t.vmas va with
+        | Some area ->
+            t.platform.Platform.pte_protect t.aspace ~va ~writable:area.Vma.prot.Vma.write
+        | None -> ())
+    t.wp;
+  Hashtbl.reset t.wp;
+  let dirty = harvest_dirty t in
+  Hashtbl.reset t.dirty;
+  dirty
+
 (* mmap: reserve [pages] pages; returns the base va.  No frames are
    allocated until touched. *)
 let mmap t ~pages ~prot ~backing =
@@ -155,7 +239,21 @@ let cow_break t vpn =
             ~user:true;
           Hashtbl.replace t.pages vpn own;
           Hashtbl.remove t.cow vpn;
+          if t.tracking then Hashtbl.replace t.dirty vpn ();
           t.release_shared shared)
+
+(* Write fault on a page the tracking epoch protected: re-arm the PTE
+   writable and log the page — one fault per page per round. *)
+let wp_break t vpn =
+  let va = Hw.Addr.va_of_vpn vpn in
+  trace_op "dirty_log" ~vpn ~pages:1;
+  t.faults <- t.faults + 1;
+  let p = t.platform in
+  p.Platform.fault_round_trip ();
+  Hw.Clock.charge p.Platform.clock "pf_service" p.Platform.fault_service_ns;
+  p.Platform.pte_protect t.aspace ~va ~writable:true;
+  Hashtbl.remove t.wp vpn;
+  Hashtbl.replace t.dirty vpn ()
 
 let munmap t ~start ~pages =
   trace_op "munmap" ~vpn:(Hw.Addr.vpn_of_va start) ~pages;
@@ -166,6 +264,8 @@ let munmap t ~start ~pages =
     | None -> ()
     | Some pfn -> (
         Hashtbl.remove t.pages vpn;
+        Hashtbl.remove t.wp vpn;
+        Hashtbl.remove t.dirty vpn;
         t.resident <- t.resident - 1;
         t.platform.Platform.pte_remove t.aspace ~va:(Hw.Addr.va_of_vpn vpn);
         match Hashtbl.find_opt t.cow vpn with
@@ -194,6 +294,12 @@ let mprotect t ~start ~pages ~prot =
   for vpn = Hw.Addr.vpn_of_va start to Hw.Addr.vpn_of_va (stop - 1) do
     if Hashtbl.mem t.pages vpn then begin
       if prot.Vma.write && Hashtbl.mem t.cow vpn then cow_break t vpn;
+      (* mprotect overrides the epoch's write protection: treat a page
+         re-opened for writing as dirty rather than lose the log. *)
+      if Hashtbl.mem t.wp vpn then begin
+        Hashtbl.remove t.wp vpn;
+        if t.tracking && prot.Vma.write then Hashtbl.replace t.dirty vpn ()
+      end;
       t.platform.Platform.pte_protect t.aspace ~va:(Hw.Addr.va_of_vpn vpn)
         ~writable:prot.Vma.write
     end
@@ -223,6 +329,7 @@ let handle_fault t va ~write =
       p.Platform.pte_install t.aspace ~va:(Hw.Addr.page_align_down va) ~pfn
         ~writable:area.Vma.prot.Vma.write ~user:true;
       Hashtbl.replace t.pages (Hw.Addr.vpn_of_va va) pfn;
+      if t.tracking then Hashtbl.replace t.dirty (Hw.Addr.vpn_of_va va) ();
       t.resident <- t.resident + 1
 
 (* Access the page containing [va], demand-faulting if needed.  A
@@ -236,6 +343,7 @@ let touch t va ~write =
       if write then
         if Hashtbl.mem t.frozen vpn then raise (Segfault va)
         else if Hashtbl.mem t.cow vpn then cow_break t vpn
+        else if Hashtbl.mem t.wp vpn then wp_break t vpn
   | None -> handle_fault t va ~write
 
 (* Touch every page of [start, start + pages).  Returns faults taken. *)

@@ -62,6 +62,33 @@ val freeze_page : t -> vpn:Hw.Addr.vpn -> unit
 val is_frozen : t -> Hw.Addr.vpn -> bool
 val frozen_count : t -> int
 
+(** {2 Dirty-page tracking (live-migration pre-copy)}
+
+    Write-protect-and-log epochs over the CoW write-fault path: every
+    resident page of a writable VMA has its PTE downgraded read-only
+    (through the platform — the KSM on CKI); the first write takes a
+    fault that re-arms the PTE and logs the page.  [shootdown] is
+    invoked once per downgraded page so the caller can invalidate the
+    TLB of every vCPU, matching the freeze discipline the trace linter
+    enforces.  Pages that become resident or break CoW during the
+    epoch are logged too — they are not in the last transmitted image. *)
+
+val dirty_track_start : t -> shootdown:(Hw.Addr.va -> unit) -> int
+(** Begin an epoch; returns the number of pages write-protected.
+    @raise Invalid_argument if already tracking. *)
+
+val dirty_track_round : t -> shootdown:(Hw.Addr.va -> unit) -> Hw.Addr.vpn list
+(** Harvest the dirty log (sorted), re-protect exactly those pages and
+    clear the log — one pre-copy round boundary. *)
+
+val dirty_track_finish : t -> Hw.Addr.vpn list
+(** End the epoch: harvest the final dirty set and restore every still
+    protected PTE to its VMA permission, so a subsequent capture sees
+    the container's real protections. *)
+
+val tracking : t -> bool
+val dirty_count : t -> int
+
 val cow_count : t -> int
 (** Un-broken CoW pages — the part of [resident_pages] still shared. *)
 

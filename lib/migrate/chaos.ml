@@ -1,0 +1,166 @@
+(* Chaos injection for live migration, plus the app harness the tests,
+   the CLI and the benchmark share.
+
+   Each scenario must end with exactly one live, analysis-clean copy
+   and zero frames of the losing copy left on the losing host:
+
+   - Source_crash: the source host dies mid-round, after a round's
+     writes but before its dirty frames hit the wire.  The target can
+     only fail over to the round-0 checkpoint image — stale but
+     consistent and re-verified — and the endpoint re-homes to it.
+     The loser is the dead source; a dead host's RAM is gone with it,
+     so its leak count is zero by definition (reboot wipes).
+   - Target_crash: the target's migration daemon dies after restore
+     but before the cutover ack.  Crash recovery must tear the
+     restored copy down — the source never stopped being
+     authoritative, so the target going live would be split brain.
+     The leak check scans the target host for frames still owned by
+     the torn-down copy.
+   - Partition: the fabric partitions before the cutover ack crosses.
+     Same obligation as Target_crash, from the other failure: the
+     target holds a fully verified copy and still must not go live,
+     because the source cannot know the handoff happened.
+
+   [leak_inject] plants a frame owned by the losing copy on the losing
+   host before the check runs — fault injection proving the leak
+   checker actually catches what it claims to. *)
+
+type scenario = Source_crash | Target_crash | Partition
+
+let scenario_name = function
+  | Source_crash -> "source-crash"
+  | Target_crash -> "target-crash"
+  | Partition -> "partition"
+
+type verdict = {
+  scenario : scenario;
+  outcome : Engine.outcome;
+  live_hid : int;
+  analysis_findings : int;
+  leaked_frames : int;
+  split_brain : bool;
+  downtime_ns : float;
+  ok : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* App harness                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type app = {
+  container : Cki.Container.t;
+  task : Kernel_model.Task.t;
+  heap : Hw.Addr.va;
+  heap_pages : int;
+}
+
+(* Boot a container with a dirty heap and a config file — enough state
+   that its image is not trivial — on fabric host [hid]. *)
+let boot_app ?(heap_pages = 1024) fab ~hid =
+  let host = Fabric.host fab hid in
+  let c = Cki.Container.create host in
+  let b = Cki.Container.backend c in
+  let task = Virt.Backend.spawn b in
+  let heap =
+    match
+      Virt.Backend.syscall_exn b task
+        (Kernel_model.Syscall.Mmap { pages = heap_pages; prot = Kernel_model.Vma.prot_rw })
+    with
+    | Kernel_model.Syscall.Rint v -> v
+    | _ -> failwith "Chaos.boot_app: mmap"
+  in
+  ignore
+    (Kernel_model.Mm.touch_range task.Kernel_model.Task.mm ~start:heap ~pages:heap_pages
+       ~write:true);
+  let fd =
+    match
+      Virt.Backend.syscall_exn b task
+        (Kernel_model.Syscall.Open { path = "/app.conf"; create = true })
+    with
+    | Kernel_model.Syscall.Rint fd -> fd
+    | _ -> failwith "Chaos.boot_app: open"
+  in
+  (match
+     Virt.Backend.syscall_exn b task
+       (Kernel_model.Syscall.Write { fd; data = Bytes.of_string "role=migratable\n" })
+   with
+  | Kernel_model.Syscall.Rint _ -> ()
+  | _ -> failwith "Chaos.boot_app: write");
+  { container = c; task; heap; heap_pages }
+
+(* Dirty [writes] pseudo-random heap pages (deterministic in [round]).
+   Goes through Mm.touch, so a page the tracking epoch protected takes
+   the write-protect fault and lands in the dirty log. *)
+let dirt a ~round ~writes =
+  let mm = a.task.Kernel_model.Task.mm in
+  let x = ref (((round * 2654435761) land 0x3FFFFFFF) lor 1) in
+  for _ = 1 to writes do
+    x := ((!x * 1103515245) + 12345) land 0x3FFFFFFF;
+    let p = !x mod a.heap_pages in
+    Kernel_model.Mm.touch mm (a.heap + (p * Hw.Addr.page_size)) ~write:true
+  done
+
+(* The engine's [work] callback: the source serves during each round's
+   wire time, dirtying pages at [rate] pages per nanosecond.  With
+   rate * per-page wire time < 1 the dirty counts shrink geometrically
+   round over round — the convergence condition made concrete. *)
+let default_rate = 4.0e-5
+
+let work_of ?(rate = default_rate) a ~round ~budget_ns =
+  dirt a ~round ~writes:(int_of_float (budget_ns *. rate))
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let engine_chaos = function
+  | Source_crash -> Engine.Source_crash_mid_round 2
+  | Target_crash -> Engine.Target_crash_before_cutover
+  | Partition -> Engine.Partition_before_cutover
+
+let expected_outcome = function
+  | Source_crash -> Engine.Failed_over
+  | Target_crash | Partition -> Engine.Aborted
+
+(* Frames of the losing copy left on the losing host.  A dead host's
+   RAM does not survive it — reboot wipes — so only a live loser can
+   leak. *)
+let leaked fab (st : Engine.stats) =
+  if Fabric.alive fab st.Engine.loser_hid then
+    Fabric.owned_frames fab ~hid:st.Engine.loser_hid ~container:st.Engine.loser_container
+  else 0
+
+let run ?(leak_inject = false) scenario =
+  let fab = Fabric.create ~hosts:2 () in
+  let a = boot_app fab ~hid:0 in
+  ignore (Fabric.expose fab ~name:"svc" ~home:0);
+  let opts = { Engine.default_opts with Engine.chaos = Some (engine_chaos scenario) } in
+  match Engine.migrate fab ~src:0 ~dst:1 ~name:"svc" a.container ~work:(work_of a) opts with
+  | Error e -> failwith ("Chaos.run: " ^ Engine.show_error e)
+  | Ok st ->
+      if leak_inject && Fabric.alive fab st.Engine.loser_hid then
+        ignore
+          (Hw.Phys_mem.alloc
+             (Hw.Machine.mem (Fabric.machine fab st.Engine.loser_hid))
+             ~owner:(Hw.Phys_mem.Container st.Engine.loser_container)
+             ~kind:Hw.Phys_mem.Data);
+      let findings = List.length (Analysis.check_machine ~containers:[ st.Engine.live ]) in
+      let leaked_frames = leaked fab st in
+      (* A second live copy needs frames: zero frames of the losing
+         copy on the losing host (or a dead host) means nobody else
+         can serve — no split brain. *)
+      let split_brain = leaked_frames > 0 && Fabric.alive fab st.Engine.loser_hid in
+      {
+        scenario;
+        outcome = st.Engine.outcome;
+        live_hid = st.Engine.live_hid;
+        analysis_findings = findings;
+        leaked_frames;
+        split_brain;
+        downtime_ns = st.Engine.downtime_ns;
+        ok =
+          st.Engine.outcome = expected_outcome scenario
+          && findings = 0 && leaked_frames = 0 && not split_brain;
+      }
+
+let all ?leak_inject () = List.map (run ?leak_inject) [ Source_crash; Target_crash; Partition ]

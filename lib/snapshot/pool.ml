@@ -7,18 +7,46 @@
    refills) is what the fleet bench gates on: a scale-out burst that
    outruns the low-water refill shows up as misses — cold template
    builds on the spawn path — instead of disappearing into the
-   latency. *)
+   latency.
 
-type t = { pool : Template.t Cki.Host.Warm_pool.t }
+   Draining is where template lifetime gets subtle: a drained template
+   may still back live CoW clones (spawned before the drain, or the
+   template is mid-migration), and freeing its shared frames then would
+   hand a clone's memory to the next allocation.  [drain] therefore
+   destroys only templates with no outstanding references and parks the
+   rest on a retired list; [reap_retired] — called from the same idle
+   path as [refill_low_water] — frees them once their last clone is
+   gone.  [Template.destroy] carries the refcount assertion backing
+   this up. *)
+
+type t = {
+  pool : Template.t Cki.Host.Warm_pool.t;
+  mutable retired : Template.t list;  (** drained but still referenced by clones *)
+}
 
 type stats = { hits : int; misses : int; refills : int; size : int; served : int }
 
 let create ?low_water ~target ~make () =
-  { pool = Cki.Host.Warm_pool.create ?low_water ~target ~make () }
+  { pool = Cki.Host.Warm_pool.create ?low_water ~target ~make (); retired = [] }
 
 let spawn_fast ?verify t = Template.clone ?verify (Cki.Host.Warm_pool.take t.pool)
 let refill_low_water t = Cki.Host.Warm_pool.refill_low_water t.pool
-let drain t = Cki.Host.Warm_pool.drain t.pool
+
+let drain t =
+  let items = Cki.Host.Warm_pool.drain t.pool in
+  List.iter
+    (fun tpl ->
+      if Template.in_use tpl then t.retired <- tpl :: t.retired else Template.destroy tpl)
+    items;
+  List.length items
+
+let reap_retired t =
+  let free, busy = List.partition (fun tpl -> not (Template.in_use tpl)) t.retired in
+  List.iter Template.destroy free;
+  t.retired <- busy;
+  List.length free
+
+let retired_count t = List.length t.retired
 let size t = Cki.Host.Warm_pool.size t.pool
 let prebooted t = Cki.Host.Warm_pool.prebooted t.pool
 let served t = Cki.Host.Warm_pool.served t.pool

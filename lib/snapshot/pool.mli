@@ -24,8 +24,19 @@ val refill_low_water : t -> int
     the number of templates built. Call from the host's idle path. *)
 
 val drain : t -> int
-(** Drop every ready template (eviction); the next spawn is a miss
-    unless {!refill_low_water} runs first. *)
+(** Evict every ready template; returns the number drained.  Templates
+    with no outstanding clone references are destroyed (frames freed);
+    templates still backing live CoW clones are {e retired} instead —
+    freeing their shared frames would corrupt the clones — and freed
+    later by {!reap_retired}.  The next spawn is a miss unless
+    {!refill_low_water} runs first. *)
+
+val reap_retired : t -> int
+(** Destroy retired templates whose last clone reference has dropped;
+    returns the number freed.  Call from the host's idle path alongside
+    {!refill_low_water}. *)
+
+val retired_count : t -> int
 
 val size : t -> int
 val prebooted : t -> int

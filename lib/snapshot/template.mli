@@ -34,3 +34,14 @@ val clone : ?verify:bool -> t -> (Cki.Container.t, error) result
 val container : t -> Cki.Container.t
 val image : t -> Image.t
 val map : t -> Capture.map
+
+val in_use : t -> bool
+(** [true] while any CoW child still references one of the template's
+    shared frames (refcount > 0) — destroying it then would hand a live
+    clone's memory to the next allocation. *)
+
+val destroy : t -> unit
+(** Tear the template's container down and free its frames.
+    @raise Invalid_argument if {!in_use} — callers that may race live
+    clones (pool drain, migration cutover) must retire the template and
+    reap it once its last clone is gone. *)

@@ -43,15 +43,21 @@ let default_arch =
        I/O plane, snapshots and the verifier, and nothing may see it. *)
     ("fleet",
       [ "hw"; "kernel_model"; "virt"; "cki"; "workloads"; "ioplane"; "snapshot"; "analysis"; "report" ]);
+    (* Live migration sits above the whole serving stack: it moves
+       containers between fabric hosts over snapshot images and
+       re-verifies them with the analysis scanner before cutover.
+       Only the executables may see it. *)
+    ("migrate",
+      [ "hw"; "kernel_model"; "virt"; "cki"; "ioplane"; "snapshot"; "fleet"; "analysis"; "report" ]);
     ("srclint", [ "report" ]);
     (* Executable scope: the demo driver and the bench harness sit on
        top of the whole stack — any library, no library sees them. *)
     ( "bin",
       [ "report"; "hw"; "kernel_model"; "virt"; "cki"; "workloads"; "analysis"; "snapshot";
-        "modelcheck"; "ioplane"; "fleet"; "srclint" ] );
+        "modelcheck"; "ioplane"; "fleet"; "migrate"; "srclint" ] );
     ( "bench",
       [ "report"; "hw"; "kernel_model"; "virt"; "cki"; "workloads"; "analysis"; "snapshot";
-        "modelcheck"; "ioplane"; "fleet"; "srclint" ] );
+        "modelcheck"; "ioplane"; "fleet"; "migrate"; "srclint" ] );
   ]
 
 (* ------------------------------------------------------------------ *)

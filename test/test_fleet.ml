@@ -380,6 +380,61 @@ let test_controller_scale_in_after_drain () =
   check bool "calm traffic scales the fleet in" true (tr.tr_scale_ins >= 1);
   check bool "fleet shrank" true (tr.tr_final_replicas < 3)
 
+(* The migration-storm satellite: drain one of two host slices while
+   the tenant serves.  Replacements are warm-cloned onto the survivor
+   *before* the doomed replicas are fenced, so capacity never dips and
+   the SLO holds right through the evacuation. *)
+let test_controller_drain_host_holds_slo () =
+  let t =
+    {
+      Fleet.Controller.default_tenant with
+      Fleet.Controller.name = "storm";
+      rate_rps = 30_000.0;
+      requests = 6_000;
+    }
+  in
+  let cfg =
+    {
+      Fleet.Controller.default_config with
+      Fleet.Controller.tenants = [ t ];
+      autoscaler = { surge_autoscaler with Fleet.Autoscaler.min_replicas = 4 };
+      initial_replicas = 4;
+      hosts = 2;
+      drain = Some { Fleet.Controller.d_host = 1; d_after_requests = 2_000 };
+    }
+  in
+  let tr = Fleet.Controller.run_tenant cfg t ~seed:(Fleet.Controller.tenant_seed cfg.Fleet.Controller.seed 0) in
+  let open Fleet.Controller in
+  check int "host 1's replicas were evacuated" 2 tr.tr_evacuated;
+  check bool "the drain window closed" true (tr.tr_drain_ns > 0.0);
+  check int "replacements kept the fleet at strength" 4 tr.tr_final_replicas;
+  check int "every clone passed re-verification" 0 tr.tr_verify_failures;
+  check int "all admitted requests completed" tr.tr_admitted tr.tr_completed;
+  (* The SLO pin: p99 during and after the storm within 5x steady state. *)
+  check bool "steady-state p99 measured" true (tr.tr_p99_before_us > 0.0);
+  let within5x p = p = 0.0 || p <= 5.0 *. tr.tr_p99_before_us in
+  check bool "p99 during the storm within 5x" true (within5x tr.tr_p99_during_us);
+  check bool "p99 after the storm within 5x" true (within5x tr.tr_p99_after_us)
+
+let test_controller_drain_validation () =
+  let t = { Fleet.Controller.default_tenant with Fleet.Controller.requests = 10 } in
+  let bad hosts drain =
+    let cfg =
+      {
+        Fleet.Controller.default_config with
+        Fleet.Controller.tenants = [ t ];
+        hosts;
+        drain;
+      }
+    in
+    fun () -> ignore (Fleet.Controller.run_tenant cfg t ~seed:1)
+  in
+  check_raises "draining the only host is refused"
+    (Invalid_argument "Fleet: draining needs a surviving host")
+    (bad 1 (Some { Fleet.Controller.d_host = 0; d_after_requests = 1 }));
+  check_raises "drain host must exist" (Invalid_argument "Fleet: drain host out of range")
+    (bad 2 (Some { Fleet.Controller.d_host = 5; d_after_requests = 1 }))
+
 let test_controller_shed_isolation () =
   let polite =
     {
@@ -485,6 +540,8 @@ let suite =
         test_case "scatter churn: 520 cycles, no leak" `Quick test_scatter_churn_no_leak;
         test_case "controller: scale-out on p99 breach" `Quick test_controller_scales_out_on_breach;
         test_case "controller: scale-in after drain" `Quick test_controller_scale_in_after_drain;
+        test_case "controller: drain_host holds the SLO" `Quick test_controller_drain_host_holds_slo;
+        test_case "controller: drain validation" `Quick test_controller_drain_validation;
         test_case "controller: shed isolation" `Quick test_controller_shed_isolation;
         test_case "controller: deterministic across domains" `Quick
           test_controller_deterministic_across_domains;
